@@ -1,0 +1,39 @@
+// Shared plumbing for the experiment binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "byzcount.hpp"
+
+namespace byz::bench {
+
+/// Builds an overlay for (n, d) with a deterministic per-experiment seed.
+inline graph::Overlay make_overlay(graph::NodeId n, std::uint32_t d,
+                                   std::uint64_t seed) {
+  graph::OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return graph::Overlay::build(p);
+}
+
+/// Byzantine placement for a trial.
+inline std::vector<bool> place_byz(graph::NodeId n, double delta,
+                                   std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix_seed(seed, 0x0B12));
+  return graph::random_byzantine_mask(n, sim::derive_byz_count(n, delta), rng);
+}
+
+/// log2 helper.
+inline double lg(double x) { return std::log2(x); }
+
+/// Trial count after env scaling (BYZCOUNT_SCALE).
+inline std::uint32_t trials(std::uint32_t base) {
+  const double scaled = base * analysis::env_scale();
+  return scaled < 1.0 ? 1u : static_cast<std::uint32_t>(scaled);
+}
+
+}  // namespace byz::bench

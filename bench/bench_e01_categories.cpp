@@ -1,0 +1,52 @@
+// E1 — Definition-9 node-category sizes vs the Lemma-2 bounds.
+//
+// Validates: Lemma 1/21 (|LTL| >= n - O(n^0.8)), Lemma 2 (|Safe|,
+// |Byz-safe| = n - o(n)), and the radius parameterization discussion of
+// DESIGN.md §3.4 (the paper's a·log n radius is < 1 at these sizes, so we
+// report radii 1 and 2 explicitly).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(14);
+  const auto sizes = analysis::pow2_sizes(10, max_exp);
+  const std::uint32_t d = 8;
+
+  for (const double delta : {0.5, 0.7}) {
+    util::Table table(
+        "E1: node categories, d=8, B=n^(1-" + util::format_double(delta, 1) +
+        "), LTL radius 1");
+    table.columns({"n", "B", "n^0.8", "NLT(r1)", "Safe(rho1)", "Unsafe(rho1)",
+                   "BUS(rho1)", "Byz-safe(rho1)", "BUS(rho2)", "max byz chain",
+                   "a*log2n (paper)"});
+    for (const auto n : sizes) {
+      const auto overlay = make_overlay(n, d, 0xE1 + n);
+      const auto byz = place_byz(n, delta, 0xE1 + n);
+      const auto cat1 = graph::classify_categories(overlay, byz, 1, 1);
+      const auto cat2 = graph::classify_categories(overlay, byz, 1, 2);
+      const auto chain =
+          graph::longest_byzantine_chain(overlay.h_simple(), byz, 16);
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(cat1.byz)
+          .cell(std::pow(static_cast<double>(n), 0.8), 0)
+          .cell(cat1.nlt)
+          .cell(cat1.safe)
+          .cell(cat1.unsafe_)
+          .cell(cat1.bus)
+          .cell(cat1.byz_safe)
+          .cell(cat2.bus)
+          .cell(std::uint64_t{chain})
+          .cell(graph::paper_radius_a(n, d, overlay.k(), delta), 3);
+    }
+    table.note("Lemma 2 predicts: NLT = O(n^0.8); Safe, Byz-safe = n - o(n); "
+               "BUS = o(n). Observation 6 predicts max chain < k = 3 w.h.p. "
+               "for delta > 3/d.");
+    analysis::emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// E3 — Small-world structure of G = H ∪ L (§2.1): adding the k-hop lattice
+// edges raises the clustering coefficient by orders of magnitude while the
+// diameter stays logarithmic (the expander part is untouched).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(14);
+  util::Table table("E3: small-world structure of G = H ∪ L (d=8, k=3)");
+  table.columns({"n", "CC(H)", "CC(G)", "gain", "diam(H)", "log2n/log2(d-1)",
+                 "APL(H)", "deg(G) avg"});
+  for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    const auto overlay = make_overlay(n, 8, 0xE3 + n);
+    const double ch = graph::average_clustering(overlay.h_simple(),
+                                                n > 8192 ? 2048 : 0, 0xE3);
+    const double cg = graph::average_clustering(overlay.g(), 512, 0xE3);
+    const auto diam = graph::diameter(overlay.h_simple(), 4096, 8, 0xE3);
+    const double apl = graph::average_path_length(overlay.h_simple(), 8, 0xE3);
+    const double avg_deg_g =
+        2.0 * static_cast<double>(overlay.g().num_edges()) / n;
+    table.row()
+        .cell(std::uint64_t{n})
+        .cell(ch, 5)
+        .cell(cg, 4)
+        .cell(cg / (ch > 0 ? ch : 1e-9), 1)
+        .cell(std::string(std::to_string(diam.value)) +
+              (diam.exact ? "" : "+"))
+        .cell(lg(n) / lg(7.0), 2)
+        .cell(apl, 2)
+        .cell(avg_deg_g, 1);
+  }
+  table.note("Watts-Strogatz small-world signature: clustering gain of 10-100x "
+             "over the random regular graph at unchanged O(log n) diameter. "
+             "'+' marks double-sweep lower bounds (n > 4096).");
+  analysis::emit(table);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E4 — The §1.2 motivation, quantified: every classical estimator is exact
+// (or near-exact) on a clean network and is destroyed by a single Byzantine
+// node; Byzantine suppression also blinds the leader-flood approach when
+// the leader itself is Byzantine.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(13);
+  {
+    util::Table table("E4a: geometric max-flood estimate of log2 n (d=8)");
+    table.columns({"n", "log2 n", "clean est", "1 byz inflate", "sqrt(n) byz",
+                   "rounds"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      util::Xoshiro256 rng(0xE4 + n);
+      const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
+      const std::vector<bool> none(n, false);
+      std::vector<bool> one(n, false);
+      one[n / 2] = true;
+      const auto byz = place_byz(n, 0.5, 0xE4 + n);
+      const auto clean =
+          base::run_geometric_support(h, none, base::FloodAttack::kNone, 64, 1);
+      const auto hit1 =
+          base::run_geometric_support(h, one, base::FloodAttack::kInflate, 64, 1);
+      const auto hitm =
+          base::run_geometric_support(h, byz, base::FloodAttack::kInflate, 64, 1);
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(lg(n), 1)
+          .cell(std::uint64_t{clean.estimate[0]})
+          .cell(std::uint64_t{hit1.estimate[0]})
+          .cell(std::uint64_t{hitm.estimate[0]})
+          .cell(clean.rounds);
+    }
+    table.note("One inflating Byzantine node suffices: every honest node "
+               "adopts the fake maximum (2^30).");
+    analysis::emit(table);
+  }
+  {
+    util::Table table("E4b: exponential support estimation n-hat (s=64)");
+    table.columns({"n", "clean n-hat", "1 byz inflate", "clean err %"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      util::Xoshiro256 rng(0xE4B + n);
+      const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
+      const std::vector<bool> none(n, false);
+      std::vector<bool> one(n, false);
+      one[1] = true;
+      const auto clean = base::run_exponential_support(
+          h, none, base::FloodAttack::kNone, 64, 64, 2);
+      const auto hit = base::run_exponential_support(
+          h, one, base::FloodAttack::kInflate, 64, 64, 2);
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(clean.estimate[0], 0)
+          .cell(hit.estimate[0], 0)
+          .cell(100.0 * std::abs(clean.estimate[0] - n) / n, 1);
+    }
+    analysis::emit(table);
+  }
+  {
+    util::Table table("E4c: spanning-tree converge-cast count");
+    table.columns({"n", "clean", "1 byz inflate", "1 byz zero", "rounds"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      util::Xoshiro256 rng(0xE4C + n);
+      const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
+      const std::vector<bool> none(n, false);
+      std::vector<bool> one(n, false);
+      one[n / 3] = true;
+      const auto clean =
+          base::run_spanning_tree_count(h, none, 0, base::TreeAttack::kNone);
+      const auto inflate =
+          base::run_spanning_tree_count(h, one, 0, base::TreeAttack::kInflate);
+      const auto zero =
+          base::run_spanning_tree_count(h, one, 0, base::TreeAttack::kZero);
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(clean.root_count)
+          .cell(inflate.root_count)
+          .cell(zero.root_count)
+          .cell(clean.rounds);
+    }
+    analysis::emit(table);
+  }
+  {
+    util::Table table("E4d: birthday-paradox estimator (m = 8 sqrt(n))");
+    table.columns({"n", "clean n-hat", "n^0.5 byz n-hat"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      const std::vector<bool> none(n, false);
+      const auto byz = place_byz(n, 0.5, 0xE4D + n);
+      const auto m = static_cast<std::uint32_t>(
+          8.0 * std::sqrt(static_cast<double>(n)));
+      const auto clean = base::run_birthday(n, none, m, 3);
+      const auto hit = base::run_birthday(n, byz, m, 3);
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(clean.estimate, 0)
+          .cell(hit.estimate, 0);
+    }
+    analysis::emit(table);
+  }
+  {
+    util::Table table("E4e: leader flood-diameter (needs a leader — the catch)");
+    table.columns({"n", "honest leader ecc", "byz leader", "reached (32 byz "
+                   "suppressors)"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      util::Xoshiro256 rng(0xE4E + n);
+      const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
+      const std::vector<bool> none(n, false);
+      std::vector<bool> leader_byz(n, false);
+      leader_byz[0] = true;
+      std::vector<bool> belt(n, false);
+      for (int i = 0; i < 32; ++i) belt[rng.below(n)] = true;
+      const auto honest = base::run_flood_diameter(h, none, 0, false, 64);
+      const auto byzled = base::run_flood_diameter(h, leader_byz, 0, false, 64);
+      const auto sup = base::run_flood_diameter(h, belt, 1, true, 64);
+      std::uint32_t ecc = 0;
+      for (const auto f : honest.first_seen) {
+        if (f != graph::kUnreachable) ecc = std::max(ecc, f);
+      }
+      std::uint64_t reached = 0;
+      for (const auto f : sup.first_seen) {
+        if (f != graph::kUnreachable) ++reached;
+      }
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(ecc)
+          .cell(byzled.rounds == 0 ? "never starts" : "?")
+          .cell(reached);
+    }
+    table.note("Estimating log n via a leader's flood works — but electing "
+               "the leader without knowing n is the very problem (§1.2).");
+    analysis::emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E8 — Theorem 1 under attack: fraction of honest nodes with a
+// constant-factor estimate of log n, for every adversary strategy, across
+// n and the Byzantine budget exponent delta.
+//
+// Run at d=6 (k=2): DESIGN.md §3.5 explains why the crash bound's
+// asymptotics need the smaller G-ball at simulation scale; delta stays
+// above the paper's 3/d requirement.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(13);
+  const auto t = trials(3);
+
+  for (const double delta : {0.6, 0.7, 0.8}) {
+    util::Table table("E8: Algorithm 2 under attack, d=6, delta=" +
+                      util::format_double(delta, 1) + " (" +
+                      std::to_string(t) + " trials)");
+    table.columns({"n", "B", "strategy", "in-band frac", "mean est/log2n",
+                   "crashed %", "undecided %", "inj caught"});
+    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+      for (const auto kind : adv::all_strategies()) {
+        analysis::AccuracyAggregate agg;
+        util::OnlineStats caught;
+        graph::NodeId b = 0;
+        for (std::uint32_t trial = 0; trial < t; ++trial) {
+          sim::TrialConfig cfg;
+          cfg.overlay.n = n;
+          cfg.overlay.d = 6;
+          cfg.delta = delta;
+          cfg.strategy = kind;
+          cfg.seed = util::mix_seed(0xE8 + n, trial);
+          const auto r = sim::run_trial(cfg);
+          agg.add(r.accuracy);
+          caught.add(static_cast<double>(r.run.instr.injections_caught));
+          b = r.byz_count;
+        }
+        table.row()
+            .cell(std::uint64_t{n})
+            .cell(std::uint64_t{b})
+            .cell(adv::to_string(kind))
+            .cell(agg.frac_in_band.mean(), 4)
+            .cell(agg.mean_ratio.mean(), 3)
+            .cell(100.0 * agg.crashed_frac.mean(), 2)
+            .cell(100.0 * agg.undecided_frac.mean(), 2)
+            .cell(caught.mean(), 0);
+      }
+    }
+    table.note("Theorem 1: in-band fraction -> 1 as n grows, for every "
+               "strategy. Crash-style attacks cost exactly the Byzantine "
+               "G-neighborhoods (o(n)); color attacks lower the mean ratio "
+               "toward the delta-dependent floor but never below Θ(log n).");
+    analysis::emit(table);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// E9 — Observation 6 and Lemmas 15/16 in action.
+//
+// (a) Longest Byzantine-only chain in H vs the threshold k, across n and
+//     delta: chains of length >= k must vanish when kδ > 1.
+// (b) Injection probe: Byzantine nodes attempt a fixed-step injection in
+//     every subphase; the Verifier must accept step-1 claims (unauditable
+//     generation), accept step-t claims only when a length-min(t,k) chain
+//     exists, and catch everything else.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto t = trials(10);
+  {
+    util::Table table("E9a: longest Byzantine chain in H (d=8, k=3, " +
+                      std::to_string(t) + " trials, max over trials)");
+    table.columns({"n", "delta", "B", "k*delta", "max chain", "P[chain>=k]"});
+    for (const auto n : analysis::pow2_sizes(10, analysis::env_max_exp(14))) {
+      for (const double delta : {0.4, 0.5, 0.7}) {
+        const auto overlay = make_overlay(n, 8, 0xE9 + n);
+        std::uint32_t worst = 0;
+        std::uint32_t violations = 0;
+        for (std::uint32_t trial = 0; trial < t; ++trial) {
+          util::Xoshiro256 rng(util::mix_seed(0xE9A + n, trial));
+          const auto byz = graph::random_byzantine_mask(
+              n, sim::derive_byz_count(n, delta), rng);
+          const auto chain =
+              graph::longest_byzantine_chain(overlay.h_simple(), byz, 10);
+          worst = std::max(worst, chain);
+          if (chain >= overlay.k()) ++violations;
+        }
+        table.row()
+            .cell(std::uint64_t{n})
+            .cell(delta, 1)
+            .cell(std::uint64_t{sim::derive_byz_count(n, delta)})
+            .cell(overlay.k() * delta, 2)
+            .cell(worst)
+            .cell(static_cast<double>(violations) / t, 2);
+      }
+    }
+    table.note("Observation 6: chains of length >= k vanish iff k*delta > 1 "
+               "(delta > 3/d). The delta=0.4 row sits near the boundary for "
+               "d=8 and shows residual chains at small n.");
+    analysis::emit(table);
+  }
+  {
+    util::Table table(
+        "E9b: injection probe vs step (d=8, k=3, n=4096, delta=0.5)");
+    table.columns({"inject step", "needs chain", "accepted", "caught",
+                   "catch rate", "undecided honest"});
+    const graph::NodeId n = 4096;
+    const auto overlay = make_overlay(n, 8, 0xE9B);
+    const auto byz = place_byz(n, 0.5, 0xE9B);
+    for (const std::uint32_t step : {1u, 2u, 3u, 4u, 6u}) {
+      adv::InjectionProbe probe(step, 900000 + step);
+      proto::ProtocolConfig cfg;
+      const auto run = proto::run_counting(overlay, byz, probe, cfg, 0xC9);
+      const auto acc = proto::summarize_accuracy(run, n);
+      const auto attempted =
+          run.instr.injections_accepted + run.instr.injections_caught;
+      table.row()
+          .cell(step)
+          .cell(std::min(step, overlay.k()))
+          .cell(run.instr.injections_accepted)
+          .cell(run.instr.injections_caught)
+          .cell(attempted ? static_cast<double>(run.instr.injections_caught) /
+                                static_cast<double>(attempted)
+                          : 0.0,
+                3)
+          .cell(acc.undecided);
+    }
+    table.note("Lemma 16: step-1 claims are always accepted (generation); "
+               "step >= 2 needs a real Byzantine chain of min(step, k). At "
+               "k=3 and random placement, chains of 3 are rare and chains "
+               "longer than 3 are never needed — catch rate jumps to ~1 at "
+               "step >= 2 and stays there.");
+    analysis::emit(table);
+  }
+  return 0;
+}

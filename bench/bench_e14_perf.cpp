@@ -1,0 +1,116 @@
+// E14 — Engineering performance (google-benchmark): overlay construction,
+// the flood kernel, full protocol runs on both tiers, and OpenMP trial
+// throughput. Not a paper claim — this is the usual reference-vs-optimized
+// kernel discipline for the simulator itself.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace byz;
+using namespace byz::bench;
+
+void BM_OverlayBuild(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto overlay = make_overlay(n, 8, seed++);
+    benchmark::DoNotOptimize(overlay.g().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OverlayBuild)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FloodSubphase(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto overlay = make_overlay(n, 8, 42);
+  const std::vector<bool> byz(n, false);
+  const std::vector<bool> crashed(n, false);
+  const proto::Verifier verifier(overlay, byz, {});
+  proto::FloodWorkspace ws;
+  sim::Instrumentation instr;
+  std::vector<proto::Color> gen(n);
+  util::Xoshiro256 rng(7);
+  for (auto& c : gen) c = util::geometric_color(rng);
+  proto::FloodParams params;
+  params.steps = 6;
+  for (auto _ : state) {
+    proto::run_flood_subphase(overlay, byz, crashed, verifier, params, gen,
+                              {}, ws, instr);
+    benchmark::DoNotOptimize(ws.known.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * params.steps);
+}
+BENCHMARK(BM_FloodSubphase)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Algo1FastPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto overlay = make_overlay(n, 8, 42);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto run = proto::run_basic_counting(overlay, seed++);
+    benchmark::DoNotOptimize(run.estimate.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Algo1FastPath)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Algo2FakeColor(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto overlay = make_overlay(n, 8, 42);
+  const auto byz = place_byz(n, 0.5, 99);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+    proto::ProtocolConfig cfg;
+    auto run = proto::run_counting(overlay, byz, *strat, cfg, seed++);
+    benchmark::DoNotOptimize(run.estimate.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Algo2FakeColor)->Arg(1 << 12)->Arg(1 << 14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EngineReference(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const auto overlay = make_overlay(n, 6, 42);
+  const auto byz = place_byz(n, 0.7, 99);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+    proto::ProtocolConfig cfg;
+    sim::Engine engine(overlay, byz, *strat, cfg, seed++);
+    auto run = engine.run();
+    benchmark::DoNotOptimize(run.estimate.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineReference)->Arg(1 << 10)->Arg(1 << 12)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrialThroughput(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  omp_set_num_threads(threads);
+  sim::TrialConfig cfg;
+  cfg.overlay.n = 1 << 12;
+  cfg.overlay.d = 8;
+  cfg.delta = 0.5;
+  cfg.strategy = adv::StrategyKind::kFakeColor;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    auto results = sim::run_trials(cfg, 16);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_TrialThroughput)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace

@@ -1,0 +1,62 @@
+// E15 (extension) — Adversarial Byzantine PLACEMENT: the paper's §4 open
+// problem. Random placement is what keeps Byzantine chains below k
+// (Observation 6); here the adversary also chooses where its nodes sit.
+// Chain placement defeats the Lemma-16 bound by construction; clustering
+// concentrates crash damage; spreading is weaker than random.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(13);
+  const auto t = trials(3);
+
+  util::Table table("E15: Byzantine placement strategies (d=8, k=3, "
+                    "fake-color attack, delta=0.5, " + std::to_string(t) +
+                    " trials)");
+  table.columns({"n", "B", "placement", "max chain", "in-band frac",
+                 "undecided %", "mean est/log2n", "inj accepted"});
+  for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    for (const auto placement : adv::all_placements()) {
+      analysis::AccuracyAggregate agg;
+      util::OnlineStats chain_stat;
+      util::OnlineStats accepted;
+      graph::NodeId b = 0;
+      for (std::uint32_t trial = 0; trial < t; ++trial) {
+        const auto overlay =
+            make_overlay(n, 8, util::mix_seed(0xEF + n, trial));
+        b = sim::derive_byz_count(n, 0.5);
+        util::Xoshiro256 rng(util::mix_seed(0xEF2 + n, trial));
+        const auto byz = adv::place_byzantine(overlay, b, placement, rng);
+        chain_stat.add(static_cast<double>(
+            graph::longest_byzantine_chain(overlay.h_simple(), byz, 32)));
+        const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+        proto::ProtocolConfig cfg;
+        const auto run = proto::run_counting(overlay, byz, *strat, cfg,
+                                             util::mix_seed(0xCF, trial));
+        agg.add(proto::summarize_accuracy(run, n));
+        accepted.add(static_cast<double>(run.instr.injections_accepted));
+      }
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(std::uint64_t{b})
+          .cell(adv::to_string(placement))
+          .cell(chain_stat.max(), 0)
+          .cell(agg.frac_in_band.mean(), 4)
+          .cell(100.0 * agg.undecided_frac.mean(), 2)
+          .cell(agg.mean_ratio.mean(), 3)
+          .cell(accepted.mean(), 0);
+    }
+  }
+  table.note("Chain placement manufactures Byzantine paths of length B >> k: "
+             "last-step injections become acceptable near the chain and its "
+             "neighborhoods stall (undecided%) — random placement is a REAL "
+             "assumption, exactly as the paper's open problem suggests. "
+             "Spread placement produces shorter chains than random and is "
+             "the adversary's worst choice.");
+  analysis::emit(table);
+  return 0;
+}

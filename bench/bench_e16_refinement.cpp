@@ -1,0 +1,59 @@
+// E16 (extension) — Estimate refinement toward the paper's open problem of
+// a 1 ± o(1) factor: the model-aware readout l_{i*-2} plus one round of
+// median smoothing over G-neighborhoods. Compares raw phase ratios with
+// refined and smoothed ratios, clean and under attack (including lying
+// responses during the smoothing round).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace byz;
+  using namespace byz::bench;
+
+  const auto max_exp = analysis::env_max_exp(14);
+  util::Table table("E16: raw vs refined vs smoothed estimates of log2 n "
+                    "(d=8, fake-color, delta=0.5)");
+  table.columns({"n", "attack", "raw mean", "refined mean", "refined sd",
+                 "smoothed mean", "smoothed sd", "smoothed min..max"});
+  for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    for (const bool attacked : {false, true}) {
+      const auto overlay = make_overlay(n, 8, 0xF0 + n);
+      std::vector<bool> byz(n, false);
+      if (attacked) byz = place_byz(n, 0.5, 0xF0 + n);
+      const auto strat = adv::make_strategy(
+          attacked ? adv::StrategyKind::kFakeColor
+                   : adv::StrategyKind::kHonest);
+      proto::ProtocolConfig cfg;
+      const auto run = proto::run_counting(overlay, byz, *strat, cfg, 0xD0);
+      const auto raw = proto::summarize_accuracy(run, n);
+
+      const auto refined = proto::refine_run(run, 8);
+      const auto racc = proto::summarize_refined(refined, byz, n);
+      const auto smoothed = proto::smooth_estimates(
+          overlay, byz, refined,
+          attacked ? proto::EstimateLie::kInflate : proto::EstimateLie::kHonest);
+      const auto sacc = proto::summarize_refined(smoothed, byz, n);
+
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(attacked ? "fake-color+inflate" : "none")
+          .cell(raw.mean_ratio, 3)
+          .cell(racc.mean_ratio, 3)
+          .cell(racc.stddev_ratio, 3)
+          .cell(sacc.mean_ratio, 3)
+          .cell(sacc.stddev_ratio, 3)
+          .cell(util::format_double(sacc.min_ratio, 2) + " .. " +
+                util::format_double(sacc.max_ratio, 2));
+    }
+  }
+  table.note("The refined readout moves the estimate from a ~0.3-0.5x "
+             "multiplicative factor to near-1x with additive-O(1) error; "
+             "median smoothing over G-neighborhoods collapses the spread "
+             "and shrugs off inflating Byzantine responses (they are a "
+             "minority of every honest node's G-ball). Under attack the "
+             "mean sits below 1 because color injection stops phases early "
+             "near Byzantine nodes — the floor is Θ(delta log n), as in E8.");
+  analysis::emit(table);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Size service: the full production pipeline a P2P deployment would run —
+//   Algorithm 2  →  model-aware refinement  →  one median-smoothing round
+// — turning "a constant-factor estimate of log n at most honest nodes"
+// into "log n ± O(1), agreed almost everywhere", while Byzantine peers
+// attack every stage (fake colors during the protocol, inflated values
+// during smoothing).
+//
+//   $ ./size_service [--n=16384] [--d=8] [--delta=0.5] [--seed=11]
+#include <cmath>
+#include <iostream>
+
+#include "byzcount.hpp"
+
+int main(int argc, char** argv) {
+  using namespace byz;
+
+  util::ArgParser args("size_service", "estimate -> refine -> agree");
+  args.add_option("n", "network size", "16384");
+  args.add_option("d", "H-degree", "8");
+  args.add_option("delta", "Byzantine exponent", "0.5");
+  args.add_option("seed", "trial seed", "11");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<graph::NodeId>(args.integer("n"));
+  const auto d = static_cast<std::uint32_t>(args.integer("d"));
+  const double delta = args.real("delta");
+  const auto seed = static_cast<std::uint64_t>(args.integer("seed"));
+  const double truth = std::log2(static_cast<double>(n));
+
+  graph::OverlayParams params;
+  params.n = n;
+  params.d = d;
+  params.seed = seed;
+  const auto overlay = graph::Overlay::build(params);
+  util::Xoshiro256 rng(seed ^ 0xB12);
+  const auto byz =
+      graph::random_byzantine_mask(n, sim::derive_byz_count(n, delta), rng);
+
+  // Stage 1: Byzantine counting (Algorithm 2) under the fake-color attack.
+  const auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  proto::ProtocolConfig cfg;
+  const auto run = proto::run_counting(overlay, byz, *strategy, cfg, seed);
+  const auto raw = proto::summarize_accuracy(run, n);
+
+  // Stage 2: model-aware refinement l_{i*-2}.
+  const auto refined = proto::refine_run(run, d);
+  const auto racc = proto::summarize_refined(refined, byz, n);
+
+  // Stage 3: median smoothing over direct channels; Byzantine neighbors
+  // respond with absurd inflation.
+  const auto smoothed = proto::smooth_estimates(overlay, byz, refined,
+                                                proto::EstimateLie::kInflate);
+  const auto sacc = proto::summarize_refined(smoothed, byz, n);
+
+  util::Table table("Size service pipeline (truth: log2 n = " +
+                    util::format_double(truth, 2) + ", B = " +
+                    std::to_string(sim::derive_byz_count(n, delta)) + ")");
+  table.columns({"stage", "mean est (log2)", "ratio to truth", "spread (sd)",
+                 "coverage"});
+  table.row()
+      .cell("1. Algorithm 2 phase i*")
+      .cell(raw.mean_ratio * truth, 2)
+      .cell(raw.mean_ratio, 3)
+      .cell("-")
+      .cell(util::format_double(100.0 * raw.frac_in_band, 1) + "% in band");
+  table.row()
+      .cell("2. refined l_{i*-2}")
+      .cell(racc.mean_ratio * truth, 2)
+      .cell(racc.mean_ratio, 3)
+      .cell(racc.stddev_ratio, 3)
+      .cell(std::to_string(racc.with_estimate) + " nodes");
+  table.row()
+      .cell("3. median-smoothed")
+      .cell(sacc.mean_ratio * truth, 2)
+      .cell(sacc.mean_ratio, 3)
+      .cell(sacc.stddev_ratio, 3)
+      .cell(std::to_string(sacc.with_estimate) + " nodes");
+  table.note("Stage 3's adversary: every Byzantine G-neighbor reports a 10^6 "
+             "estimate during smoothing; the neighborhood median ignores it.");
+  std::cout << table;
+  return 0;
+}

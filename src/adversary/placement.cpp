@@ -1,0 +1,136 @@
+#include "adversary/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/categories.hpp"
+
+namespace byz::adv {
+
+using graph::NodeId;
+
+const char* to_string(Placement placement) {
+  switch (placement) {
+    case Placement::kRandom: return "random";
+    case Placement::kClustered: return "clustered";
+    case Placement::kChain: return "chain";
+    case Placement::kSpread: return "spread";
+  }
+  return "unknown";
+}
+
+std::vector<Placement> all_placements() {
+  return {Placement::kRandom, Placement::kClustered, Placement::kChain,
+          Placement::kSpread};
+}
+
+namespace {
+
+std::vector<bool> clustered(const graph::Overlay& overlay, NodeId count,
+                            util::Xoshiro256& rng) {
+  // BFS from a random seed until `count` nodes are absorbed.
+  const NodeId n = overlay.num_nodes();
+  std::vector<bool> mask(n, false);
+  const auto seed = static_cast<NodeId>(rng.below(n));
+  std::vector<NodeId> frontier{seed};
+  mask[seed] = true;
+  NodeId placed = 1;
+  std::vector<NodeId> next;
+  while (placed < count && !frontier.empty()) {
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId w : overlay.h_simple().neighbors(u)) {
+        if (!mask[w] && placed < count) {
+          mask[w] = true;
+          ++placed;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return mask;
+}
+
+std::vector<bool> chain(const graph::Overlay& overlay, NodeId count,
+                        util::Xoshiro256& rng) {
+  // Greedy self-avoiding walk along H; restarts from an unvisited random
+  // node when stuck, so the budget is always spent.
+  const NodeId n = overlay.num_nodes();
+  std::vector<bool> mask(n, false);
+  NodeId placed = 0;
+  NodeId current = static_cast<NodeId>(rng.below(n));
+  mask[current] = true;
+  ++placed;
+  while (placed < count) {
+    NodeId next_node = graph::kInvalidNode;
+    const auto nbrs = overlay.h_simple().neighbors(current);
+    // Random unvisited neighbor.
+    const auto offset = rng.below(nbrs.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId cand = nbrs[(i + offset) % nbrs.size()];
+      if (!mask[cand]) {
+        next_node = cand;
+        break;
+      }
+    }
+    if (next_node == graph::kInvalidNode) {
+      // Dead end: restart the walk elsewhere.
+      do {
+        next_node = static_cast<NodeId>(rng.below(n));
+      } while (mask[next_node]);
+    }
+    mask[next_node] = true;
+    ++placed;
+    current = next_node;
+  }
+  return mask;
+}
+
+std::vector<bool> spread(const graph::Overlay& overlay, NodeId count,
+                         util::Xoshiro256& rng) {
+  // Greedy k-center-style: repeatedly take the node farthest from the
+  // current Byzantine set (multi-source BFS per step; fine at bench scale).
+  const NodeId n = overlay.num_nodes();
+  std::vector<bool> mask(n, false);
+  std::vector<NodeId> chosen{static_cast<NodeId>(rng.below(n))};
+  mask[chosen[0]] = true;
+  while (chosen.size() < count) {
+    const auto dist = graph::multi_source_distances(overlay.h_simple(), chosen);
+    NodeId best = graph::kInvalidNode;
+    std::uint32_t best_dist = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!mask[v] && dist[v] != graph::kUnreachable && dist[v] >= best_dist) {
+        best = v;
+        best_dist = dist[v];
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    mask[best] = true;
+    chosen.push_back(best);
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<bool> place_byzantine(const graph::Overlay& overlay, NodeId count,
+                                  Placement placement, util::Xoshiro256& rng) {
+  const NodeId n = overlay.num_nodes();
+  if (count > n) throw std::invalid_argument("place_byzantine: count > n");
+  if (count == 0) return std::vector<bool>(n, false);
+  switch (placement) {
+    case Placement::kRandom:
+      return graph::random_byzantine_mask(n, count, rng);
+    case Placement::kClustered:
+      return clustered(overlay, count, rng);
+    case Placement::kChain:
+      return chain(overlay, count, rng);
+    case Placement::kSpread:
+      return spread(overlay, count, rng);
+  }
+  throw std::invalid_argument("place_byzantine: unknown placement");
+}
+
+}  // namespace byz::adv

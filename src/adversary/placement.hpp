@@ -1,0 +1,38 @@
+// Byzantine placement strategies — the paper's §4 open problem:
+// "Our protocol works only when the Byzantine nodes are randomly
+// distributed; it will be good to remove this assumption."
+//
+// Random placement is what Observation 6 needs: it keeps Byzantine-only
+// chains shorter than k w.h.p. These placements let experiments probe what
+// breaks when the adversary ALSO controls where its nodes sit:
+//   * kRandom    — the paper's model (uniform without replacement);
+//   * kClustered — a BFS ball around a seed node: maximal local density,
+//                  long chains, concentrated crash damage;
+//   * kChain     — a path in H: the minimal-budget way to defeat the
+//                  Lemma-16 chain bound outright;
+//   * kSpread    — greedy far-apart placement (approximate max-min
+//                  distance): the adversary's worst choice, even weaker
+//                  than random against this protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/small_world.hpp"
+#include "util/rng.hpp"
+
+namespace byz::adv {
+
+enum class Placement : std::uint8_t { kRandom, kClustered, kChain, kSpread };
+
+[[nodiscard]] const char* to_string(Placement placement);
+[[nodiscard]] std::vector<Placement> all_placements();
+
+/// Marks exactly `count` nodes Byzantine according to the placement (fewer
+/// only if the graph is too small, which callers should avoid).
+[[nodiscard]] std::vector<bool> place_byzantine(const graph::Overlay& overlay,
+                                                graph::NodeId count,
+                                                Placement placement,
+                                                util::Xoshiro256& rng);
+
+}  // namespace byz::adv

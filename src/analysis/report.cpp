@@ -1,0 +1,31 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace byz::analysis {
+
+namespace {
+
+void capture(const std::string& text) {
+  const char* path = std::getenv("BYZCOUNT_CAPTURE");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (out) out << text << '\n';
+}
+
+}  // namespace
+
+void emit(const util::Table& table) {
+  std::cout << table.str() << std::flush;
+  capture(table.markdown());
+}
+
+void emit_line(const std::string& line) {
+  std::cout << line << '\n' << std::flush;
+  capture(line);
+}
+
+}  // namespace byz::analysis

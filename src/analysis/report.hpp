@@ -1,0 +1,18 @@
+// Output channel for the bench binaries: tables go to stdout; when
+// BYZCOUNT_CAPTURE=<path> is set, the markdown rendering is also appended
+// to that file (how EXPERIMENTS.md's raw sections are produced).
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace byz::analysis {
+
+/// Prints the table to stdout; appends markdown to $BYZCOUNT_CAPTURE if set.
+void emit(const util::Table& table);
+
+/// Emits a free-form headline line (also captured).
+void emit_line(const std::string& line);
+
+}  // namespace byz::analysis

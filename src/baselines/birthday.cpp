@@ -1,0 +1,37 @@
+#include "baselines/birthday.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace byz::base {
+
+BirthdayResult run_birthday(graph::NodeId n, const std::vector<bool>& byz_mask,
+                            std::uint32_t samples, std::uint64_t seed) {
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("birthday: mask size mismatch");
+  }
+  util::Xoshiro256 rng(seed);
+  BirthdayResult result;
+  result.samples = samples;
+  std::unordered_map<std::uint64_t, std::uint32_t> seen;
+  seen.reserve(samples * 2);
+  for (std::uint32_t i = 0; i < samples; ++i) {
+    const auto node = static_cast<graph::NodeId>(rng.below(n));
+    // Honest nodes report a tag unique to their identity; Byzantine nodes
+    // all report the same forged tag.
+    const std::uint64_t tag =
+        byz_mask[node] ? 0xFFFFFFFFFFFFFFFFULL : util::mix_seed(0xB17D, node);
+    const auto [it, inserted] = seen.try_emplace(tag, 0u);
+    result.collisions += it->second;  // each prior copy makes one new pair
+    ++it->second;
+  }
+  if (result.collisions > 0) {
+    const double m = samples;
+    result.estimate = m * (m - 1.0) / (2.0 * result.collisions);
+  }
+  return result;
+}
+
+}  // namespace byz::base

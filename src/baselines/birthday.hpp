@@ -1,0 +1,33 @@
+// Birthday-paradox size estimation (§1.2 mentions these ideas fail under
+// Byzantine nodes; Ganesh et al. used random-walk sampling in the clean
+// setting). m nodes are sampled, each contributes a random tag from [0, M);
+// collisions c among the C(m,2) pairs estimate n-hat ≈ m(m-1)/(2c) when
+// tags are drawn as f(node) over a space of size M = n (we use tag = node
+// id scrambled, i.e. sampling WITH replacement from the population and
+// counting repeat draws). Byzantine nodes lie about their identity tags,
+// manufacturing collisions and deflating the estimate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::base {
+
+struct BirthdayResult {
+  double estimate = 0.0;       ///< n-hat (0 when no collision observed)
+  std::uint32_t collisions = 0;
+  std::uint32_t samples = 0;
+};
+
+/// Runs the estimator with `samples` uniformly drawn nodes (the random-walk
+/// sampling substrate is abstracted to uniform draws, which is its ideal
+/// behavior). Byzantine nodes always report tag 0, manufacturing
+/// collisions.
+[[nodiscard]] BirthdayResult run_birthday(graph::NodeId n,
+                                          const std::vector<bool>& byz_mask,
+                                          std::uint32_t samples,
+                                          std::uint64_t seed);
+
+}  // namespace byz::base

@@ -1,0 +1,53 @@
+#include "baselines/flood_diameter.hpp"
+
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace byz::base {
+
+using graph::NodeId;
+
+FloodDiameterResult run_flood_diameter(const graph::Graph& h,
+                                       const std::vector<bool>& byz_mask,
+                                       NodeId leader, bool suppress,
+                                       std::uint32_t max_rounds) {
+  const NodeId n = h.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("flood_diameter: mask size mismatch");
+  }
+  if (leader >= n) throw std::out_of_range("flood_diameter: bad leader");
+
+  FloodDiameterResult result;
+  result.first_seen.assign(n, graph::kUnreachable);
+
+  // A Byzantine leader does not start the beacon at all.
+  if (byz_mask[leader]) {
+    result.rounds = 0;
+    return result;
+  }
+  result.first_seen[leader] = 0;
+  std::vector<NodeId> frontier{leader};
+  std::vector<NodeId> next;
+  std::uint32_t round = 0;
+  while (!frontier.empty() && round < max_rounds) {
+    ++round;
+    next.clear();
+    for (const NodeId u : frontier) {
+      if (suppress && byz_mask[u]) continue;  // blackhole relay
+      const auto nbrs = h.neighbors(u);
+      result.messages += nbrs.size();
+      for (const NodeId v : nbrs) {
+        if (result.first_seen[v] == graph::kUnreachable) {
+          result.first_seen[v] = round;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  result.rounds = round;
+  return result;
+}
+
+}  // namespace byz::base

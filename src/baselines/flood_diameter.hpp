@@ -1,0 +1,30 @@
+// Leader-flooding diameter estimation (§1.2: "Assuming that there exists a
+// leader ... a large fraction of nodes can estimate the diameter by
+// recording the time when they see the first token"). The estimate of
+// log n follows from diameter ≈ log n / log(d-1) on the expander. The
+// paper's point: choosing the leader IS the hard problem under Byzantine
+// faults; a Byzantine leader (or Byzantine suppression belt) breaks it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::base {
+
+struct FloodDiameterResult {
+  std::vector<std::uint32_t> first_seen;  ///< round of first receipt
+                                          ///< (kUnreachable if never)
+  std::uint64_t messages = 0;
+  std::uint32_t rounds = 0;
+};
+
+/// Floods a beacon from `leader` over H for up to `max_rounds`; Byzantine
+/// nodes optionally refuse to forward (`suppress`), and a Byzantine leader
+/// simply never starts (all nodes end with kUnreachable).
+[[nodiscard]] FloodDiameterResult run_flood_diameter(
+    const graph::Graph& h, const std::vector<bool>& byz_mask,
+    graph::NodeId leader, bool suppress, std::uint32_t max_rounds);
+
+}  // namespace byz::base

@@ -1,0 +1,65 @@
+#include "baselines/spanning_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace byz::base {
+
+using graph::NodeId;
+
+SpanningTreeResult run_spanning_tree_count(const graph::Graph& h,
+                                           const std::vector<bool>& byz_mask,
+                                           NodeId root, TreeAttack attack) {
+  const NodeId n = h.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("spanning_tree: mask size mismatch");
+  }
+  if (root >= n) throw std::out_of_range("spanning_tree: bad root");
+
+  SpanningTreeResult result;
+  const auto dist = graph::bfs_distances(h, root);
+  std::uint32_t depth = 0;
+  for (const auto dv : dist) {
+    if (dv != graph::kUnreachable) depth = std::max(depth, dv);
+  }
+  // Parent assignment (smallest-id BFS parent); one message per node for
+  // tree construction, one per node for the converge-cast.
+  std::vector<NodeId> parent(n, graph::kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root || dist[v] == graph::kUnreachable) continue;
+    for (const NodeId w : h.neighbors(v)) {
+      if (dist[w] + 1 == dist[v] &&
+          (parent[v] == graph::kInvalidNode || w < parent[v])) {
+        parent[v] = w;
+      }
+    }
+  }
+  // Converge-cast from the deepest level upward.
+  std::vector<std::uint64_t> subtree(n, 1);
+  std::vector<NodeId> order(n);
+  for (NodeId v = 0; v < n; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return dist[a] > dist[b];
+  });
+  for (const NodeId v : order) {
+    if (v == root || dist[v] == graph::kUnreachable) continue;
+    std::uint64_t report = subtree[v];
+    if (byz_mask[v]) {
+      switch (attack) {
+        case TreeAttack::kNone: break;
+        case TreeAttack::kInflate: report = 1'000'000'000ULL; break;
+        case TreeAttack::kZero: report = 0; break;
+      }
+    }
+    subtree[parent[v]] += report;
+    ++result.messages;
+  }
+  result.messages += n - 1;  // tree-construction beacons
+  result.root_count = subtree[root];
+  result.rounds = 2 * depth;
+  return result;
+}
+
+}  // namespace byz::base

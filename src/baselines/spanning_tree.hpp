@@ -1,0 +1,32 @@
+// Exact counting by spanning-tree converge-cast (§1.2: "it is possible to
+// solve the counting problem exactly ... by simply building a spanning tree
+// and converge-casting the nodes' counts to the root"). Works perfectly in
+// a clean network; one Byzantine node anywhere in the tree corrupts every
+// subtree above it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::base {
+
+enum class TreeAttack : std::uint8_t {
+  kNone,       ///< honest counts
+  kInflate,    ///< Byzantine children report 10^9 nodes
+  kZero,       ///< Byzantine children report 0 (hide their subtrees)
+};
+
+struct SpanningTreeResult {
+  std::uint64_t root_count = 0;  ///< what the root believes n to be
+  std::uint32_t rounds = 0;      ///< 2 * tree depth (build + converge-cast)
+  std::uint64_t messages = 0;
+};
+
+/// BFS-builds a tree from `root` over H and converge-casts subtree sizes.
+[[nodiscard]] SpanningTreeResult run_spanning_tree_count(
+    const graph::Graph& h, const std::vector<bool>& byz_mask,
+    graph::NodeId root, TreeAttack attack);
+
+}  // namespace byz::base

@@ -1,0 +1,126 @@
+#include "baselines/support_estimation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace byz::base {
+
+using graph::NodeId;
+
+GeometricSupportResult run_geometric_support(const graph::Graph& h,
+                                             const std::vector<bool>& byz_mask,
+                                             FloodAttack attack,
+                                             std::uint32_t max_rounds,
+                                             std::uint64_t seed) {
+  const NodeId n = h.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("geometric_support: mask size mismatch");
+  }
+  GeometricSupportResult result;
+  result.estimate.assign(n, 0);
+
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> value(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto node_rng = rng.split(v);
+    value[v] = util::geometric_color(node_rng);
+    if (byz_mask[v]) {
+      switch (attack) {
+        case FloodAttack::kNone: break;
+        case FloodAttack::kInflate: value[v] = 1u << 30; break;
+        case FloodAttack::kSuppress: value[v] = 0; break;
+      }
+    }
+  }
+  // Forward-once max flooding until quiescent.
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    result.estimate[v] = value[v];
+    if (value[v] > 0) frontier.push_back(v);
+  }
+  std::vector<NodeId> next;
+  std::uint32_t round = 0;
+  while (!frontier.empty() && round < max_rounds) {
+    ++round;
+    next.clear();
+    for (const NodeId u : frontier) {
+      if (byz_mask[u] && attack == FloodAttack::kSuppress) continue;
+      const auto nbrs = h.neighbors(u);
+      result.messages += nbrs.size();
+      for (const NodeId v : nbrs) {
+        if (result.estimate[u] > result.estimate[v]) {
+          result.estimate[v] = result.estimate[u];
+          next.push_back(v);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier.swap(next);
+  }
+  result.rounds = round;
+  return result;
+}
+
+ExponentialSupportResult run_exponential_support(
+    const graph::Graph& h, const std::vector<bool>& byz_mask,
+    FloodAttack attack, std::uint32_t s, std::uint32_t max_rounds,
+    std::uint64_t seed) {
+  const NodeId n = h.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("exponential_support: mask size mismatch");
+  }
+  if (s == 0) throw std::invalid_argument("exponential_support: s >= 1");
+  ExponentialSupportResult result;
+
+  // mins[v * s + j]: node v's current coordinate-j minimum.
+  util::Xoshiro256 rng(seed);
+  std::vector<double> mins(static_cast<std::size_t>(n) * s);
+  for (NodeId v = 0; v < n; ++v) {
+    auto node_rng = rng.split(v);
+    for (std::uint32_t j = 0; j < s; ++j) {
+      double x = util::exponential(node_rng);
+      if (byz_mask[v] && attack == FloodAttack::kInflate) x = 1e-12;
+      if (byz_mask[v] && attack == FloodAttack::kSuppress) x = 1e300;
+      mins[static_cast<std::size_t>(v) * s + j] = x;
+    }
+  }
+  // Synchronous relaxation until no coordinate improves anywhere.
+  std::uint32_t round = 0;
+  bool changed = true;
+  std::vector<double> next(mins);
+  while (changed && round < max_rounds) {
+    ++round;
+    changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (byz_mask[v] && attack == FloodAttack::kSuppress) continue;
+      const auto nbrs = h.neighbors(v);
+      result.messages += nbrs.size();
+      for (const NodeId w : nbrs) {
+        for (std::uint32_t j = 0; j < s; ++j) {
+          const double mv = mins[static_cast<std::size_t>(v) * s + j];
+          auto& tw = next[static_cast<std::size_t>(w) * s + j];
+          if (mv < tw) {
+            tw = mv;
+            changed = true;
+          }
+        }
+      }
+    }
+    mins = next;
+  }
+  result.rounds = round;
+  result.estimate.assign(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (std::uint32_t j = 0; j < s; ++j) {
+      sum += mins[static_cast<std::size_t>(v) * s + j];
+    }
+    result.estimate[v] = sum > 0 ? static_cast<double>(s) / sum : 0.0;
+  }
+  return result;
+}
+
+}  // namespace byz::base

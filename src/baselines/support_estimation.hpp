@@ -1,0 +1,50 @@
+// The non-Byzantine size estimators the paper builds on and contrasts with
+// (§1.2): max-flooding a geometric draw, and classical support estimation
+// with exponential variates [Augustine et al.]. Both are exact enough in a
+// clean network and collapse under a single Byzantine node — experiment E4
+// reproduces that motivating contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::base {
+
+/// How Byzantine nodes attack the flooding estimators.
+enum class FloodAttack : std::uint8_t {
+  kNone,      ///< behave honestly
+  kInflate,   ///< inject an absurd maximum (geometric) / tiny minimum (exp)
+  kSuppress,  ///< refuse to forward anything (blackhole)
+};
+
+struct GeometricSupportResult {
+  std::vector<std::uint32_t> estimate;  ///< per-node max X seen = est. log2 n
+  std::uint32_t rounds = 0;             ///< rounds until quiescence
+  std::uint64_t messages = 0;
+};
+
+/// §1.2's protocol: every node flips a fair coin until heads (X_u), floods
+/// the maximum with the forward-once rule until quiescent (or `max_rounds`).
+/// Honest-only: max ∈ [log n/2, 2 log n] w.h.p. A single kInflate Byzantine
+/// node destroys every node's estimate.
+[[nodiscard]] GeometricSupportResult run_geometric_support(
+    const graph::Graph& h, const std::vector<bool>& byz_mask,
+    FloodAttack attack, std::uint32_t max_rounds, std::uint64_t seed);
+
+struct ExponentialSupportResult {
+  std::vector<double> estimate;  ///< per-node n-hat
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Support estimation: each node draws s Exp(1) variates; coordinate-wise
+/// minima are flooded; n-hat = s / sum_j min_j. kInflate Byzantine nodes
+/// inject near-zero minima, inflating n-hat unboundedly.
+[[nodiscard]] ExponentialSupportResult run_exponential_support(
+    const graph::Graph& h, const std::vector<bool>& byz_mask,
+    FloodAttack attack, std::uint32_t s, std::uint32_t max_rounds,
+    std::uint64_t seed);
+
+}  // namespace byz::base

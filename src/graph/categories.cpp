@@ -1,0 +1,136 @@
+#include "graph/categories.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/tree_like.hpp"
+
+namespace byz::graph {
+
+double paper_radius_a(std::uint64_t n, std::uint32_t d, std::uint32_t k,
+                      double delta) {
+  return delta / (10.0 * k * std::log2(static_cast<double>(d - 1))) *
+         std::log2(static_cast<double>(n));
+}
+
+std::vector<bool> random_byzantine_mask(NodeId n, NodeId count,
+                                        util::Xoshiro256& rng) {
+  if (count > n) throw std::invalid_argument("random_byzantine_mask: count > n");
+  // Floyd's algorithm for a uniform k-subset without building a permutation.
+  std::vector<bool> mask(n, false);
+  for (NodeId j = n - count; j < n; ++j) {
+    const auto t = static_cast<NodeId>(rng.below(j + 1));
+    if (!mask[t]) {
+      mask[t] = true;
+    } else {
+      mask[j] = true;
+    }
+  }
+  return mask;
+}
+
+NodeCategories classify_categories(const Overlay& overlay,
+                                   const std::vector<bool>& byz_mask,
+                                   std::uint32_t ltl_radius,
+                                   std::uint32_t category_radius) {
+  const NodeId n = overlay.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("classify_categories: mask size mismatch");
+  }
+  NodeCategories cat;
+  cat.radius = category_radius;
+  cat.is_byz = byz_mask;
+
+  const TreeLikeResult ltl =
+      classify_tree_like(overlay.h(), overlay.params().d, ltl_radius);
+  cat.is_ltl = ltl.is_tree_like;
+
+  std::vector<NodeId> nlt_nodes;
+  std::vector<NodeId> bad_nodes;
+  for (NodeId v = 0; v < n; ++v) {
+    if (byz_mask[v]) ++cat.byz;
+    if (!cat.is_ltl[v]) {
+      ++cat.nlt;
+      nlt_nodes.push_back(v);
+    }
+    if (byz_mask[v] || !cat.is_ltl[v]) bad_nodes.push_back(v);
+  }
+  cat.honest = n - cat.byz;
+  cat.ltl = n - cat.nlt;
+  cat.bad = bad_nodes.size();
+
+  // Safe: dist_G(v, NLT) > radius. Multi-source BFS on G to depth radius.
+  cat.is_safe.assign(n, true);
+  if (!nlt_nodes.empty()) {
+    const auto dist =
+        multi_source_distances(overlay.g(), nlt_nodes, category_radius + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      cat.is_safe[v] = dist[v] > category_radius;  // kUnreachable counts safe
+    }
+  }
+  // Byz-safe: dist_G(v, Bad) > radius.
+  cat.is_byz_safe.assign(n, true);
+  if (!bad_nodes.empty()) {
+    const auto dist =
+        multi_source_distances(overlay.g(), bad_nodes, category_radius + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      cat.is_byz_safe[v] = dist[v] > category_radius;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (cat.is_safe[v]) {
+      ++cat.safe;
+    } else {
+      ++cat.unsafe_;
+    }
+    if (cat.is_byz_safe[v]) {
+      ++cat.byz_safe;
+    } else {
+      ++cat.bus;
+    }
+  }
+  return cat;
+}
+
+namespace {
+
+/// DFS for the longest simple Byzantine path extending `path` from `v`.
+void chain_dfs(const Graph& h, const std::vector<bool>& byz,
+               std::vector<bool>& on_path, NodeId v, std::uint32_t depth,
+               std::uint32_t cap, std::uint32_t& best) {
+  best = std::max(best, depth);
+  if (best >= cap) return;
+  for (const NodeId w : h.neighbors(v)) {
+    if (byz[w] && !on_path[w]) {
+      on_path[w] = true;
+      chain_dfs(h, byz, on_path, w, depth + 1, cap, best);
+      on_path[w] = false;
+      if (best >= cap) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t longest_byzantine_chain(const Graph& h_simple,
+                                      const std::vector<bool>& byz_mask,
+                                      std::uint32_t cap) {
+  const NodeId n = h_simple.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("longest_byzantine_chain: mask size mismatch");
+  }
+  std::vector<bool> on_path(n, false);
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < n && best < cap; ++v) {
+    if (!byz_mask[v]) continue;
+    best = std::max(best, 1u);  // a single Byzantine node is a chain of 1
+    on_path[v] = true;
+    chain_dfs(h_simple, byz_mask, on_path, v, 1, cap, best);
+    on_path[v] = false;
+  }
+  return best;
+}
+
+}  // namespace byz::graph

@@ -1,0 +1,60 @@
+// Definition 9 node categories: Byz/Honest, LTL/NLT, Safe/Unsafe,
+// Bad = Byz ∪ NLT, BUS (Byzantine-unsafe) / Byz-safe. The distances in
+// Definition 9 are G-distances (the paper is explicit about that), so the
+// classification runs multi-source BFS on G.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/small_world.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+
+/// The paper's radius a·log n with a = δ / (10 k log(d-1)) (base-2 logs).
+/// Returned un-clamped (it is < 1 for practical n); callers clamp.
+[[nodiscard]] double paper_radius_a(std::uint64_t n, std::uint32_t d,
+                                    std::uint32_t k, double delta);
+
+/// Draws exactly `count` distinct Byzantine node ids uniformly at random
+/// (the paper's random-placement assumption).
+[[nodiscard]] std::vector<bool> random_byzantine_mask(NodeId n, NodeId count,
+                                                      util::Xoshiro256& rng);
+
+/// Per-node category flags plus aggregate counts.
+struct NodeCategories {
+  std::vector<bool> is_byz;
+  std::vector<bool> is_ltl;
+  std::vector<bool> is_safe;      ///< dist_G(v, NLT) > radius
+  std::vector<bool> is_byz_safe;  ///< dist_G(v, Bad) > radius
+  std::uint64_t byz = 0;
+  std::uint64_t honest = 0;
+  std::uint64_t ltl = 0;
+  std::uint64_t nlt = 0;
+  std::uint64_t safe = 0;
+  std::uint64_t unsafe_ = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t bus = 0;       ///< Byzantine-unsafe
+  std::uint64_t byz_safe = 0;
+  std::uint32_t radius = 0;
+};
+
+/// Classifies all nodes. `ltl_radius` drives the tree-like test on H;
+/// `category_radius` is the a·log n ball (clamped to >= 1 by the caller if
+/// desired; 0 means "only the node itself", i.e. Safe = not NLT).
+[[nodiscard]] NodeCategories classify_categories(const Overlay& overlay,
+                                                 const std::vector<bool>& byz_mask,
+                                                 std::uint32_t ltl_radius,
+                                                 std::uint32_t category_radius);
+
+/// Length of the longest simple path in H consisting solely of Byzantine
+/// nodes (Observation 6 predicts < k w.h.p.). Exhaustive DFS inside each
+/// Byzantine-induced component, capped at `cap` (returns cap if reached);
+/// components are tiny under random placement so this is cheap.
+[[nodiscard]] std::uint32_t longest_byzantine_chain(const Graph& h_simple,
+                                                    const std::vector<bool>& byz_mask,
+                                                    std::uint32_t cap);
+
+}  // namespace byz::graph

@@ -1,0 +1,114 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byz::graph {
+
+std::uint32_t Components::largest() const {
+  if (sizes.empty()) throw std::logic_error("Components::largest: empty graph");
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < sizes.size(); ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  return best;
+}
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Components comps;
+  comps.id.assign(n, static_cast<std::uint32_t>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (comps.id[start] != static_cast<std::uint32_t>(-1)) continue;
+    const auto cid = static_cast<std::uint32_t>(comps.sizes.size());
+    comps.sizes.push_back(0);
+    stack.push_back(start);
+    comps.id[start] = cid;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++comps.sizes[cid];
+      for (const NodeId w : g.neighbors(v)) {
+        if (comps.id[w] == static_cast<std::uint32_t>(-1)) {
+          comps.id[w] = cid;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return false;
+  return connected_components(g).count() == 1;
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<bool>& keep,
+                       std::vector<NodeId>* old_to_new,
+                       std::vector<NodeId>* new_to_old) {
+  const NodeId n = g.num_nodes();
+  if (keep.size() != n) {
+    throw std::invalid_argument("induced_subgraph: mask size mismatch");
+  }
+  std::vector<NodeId> map(n, kInvalidNode);
+  std::vector<NodeId> inverse;
+  for (NodeId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      map[v] = static_cast<NodeId>(inverse.size());
+      inverse.push_back(v);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!keep[v]) continue;
+    for (const NodeId w : g.neighbors(v)) {
+      if (v < w && keep[w]) edges.emplace_back(map[v], map[w]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  if (new_to_old != nullptr) *new_to_old = std::move(inverse);
+  return Graph::from_edges(static_cast<NodeId>(
+                               std::count(keep.begin(), keep.end(), true)),
+                           edges, /*dedup=*/false);
+}
+
+std::vector<bool> largest_component_mask(const Graph& g,
+                                         const std::vector<bool>& keep) {
+  const NodeId n = g.num_nodes();
+  if (keep.size() != n) {
+    throw std::invalid_argument("largest_component_mask: mask size mismatch");
+  }
+  std::vector<std::uint32_t> id(n, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint64_t> sizes;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (!keep[start] || id[start] != static_cast<std::uint32_t>(-1)) continue;
+    const auto cid = static_cast<std::uint32_t>(sizes.size());
+    sizes.push_back(0);
+    stack.push_back(start);
+    id[start] = cid;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++sizes[cid];
+      for (const NodeId w : g.neighbors(v)) {
+        if (keep[w] && id[w] == static_cast<std::uint32_t>(-1)) {
+          id[w] = cid;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  std::vector<bool> mask(n, false);
+  if (sizes.empty()) return mask;
+  std::uint32_t best = 0;
+  for (std::uint32_t c = 1; c < sizes.size(); ++c) {
+    if (sizes[c] > sizes[best]) best = c;
+  }
+  for (NodeId v = 0; v < n; ++v) mask[v] = (id[v] == best);
+  return mask;
+}
+
+}  // namespace byz::graph

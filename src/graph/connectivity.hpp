@@ -1,0 +1,39 @@
+// Connected components and induced subgraphs; used to extract the Core
+// (largest honest uncrashed component, Lemma 14).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::graph {
+
+struct Components {
+  std::vector<std::uint32_t> id;     ///< component id per node
+  std::vector<std::uint64_t> sizes;  ///< size per component id
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return static_cast<std::uint32_t>(sizes.size());
+  }
+  /// Id of the largest component (ties: smallest id).
+  [[nodiscard]] std::uint32_t largest() const;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff the graph is connected (and nonempty).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Subgraph induced by the nodes with keep[v] == true. `old_to_new` (if
+/// non-null) receives the node remapping (kInvalidNode for dropped nodes);
+/// `new_to_old` (if non-null) the inverse list.
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     const std::vector<bool>& keep,
+                                     std::vector<NodeId>* old_to_new = nullptr,
+                                     std::vector<NodeId>* new_to_old = nullptr);
+
+/// Mask of the largest connected component among nodes with keep[v] == true.
+[[nodiscard]] std::vector<bool> largest_component_mask(
+    const Graph& g, const std::vector<bool>& keep);
+
+}  // namespace byz::graph

@@ -1,0 +1,46 @@
+#include "graph/hamiltonian.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace byz::graph {
+
+Graph build_hamiltonian_graph(NodeId n, std::uint32_t d,
+                              util::Xoshiro256& rng) {
+  if (n < 3) throw std::invalid_argument("H(n,d): need n >= 3");
+  if (d < 4 || d % 2 != 0) {
+    throw std::invalid_argument("H(n,d): need even d >= 4");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * d / 2);
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  for (std::uint32_t cycle = 0; cycle < d / 2; ++cycle) {
+    // Fisher-Yates; a uniformly random permutation induces a uniformly
+    // random Hamiltonian cycle (up to rotation/reflection, which do not
+    // change the edge set distribution).
+    for (NodeId i = n - 1; i > 0; --i) {
+      const auto j = static_cast<NodeId>(rng.below(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      edges.emplace_back(perm[i], perm[(i + 1) % n]);
+    }
+  }
+  return Graph::from_edges(n, edges, /*dedup=*/false);
+}
+
+Graph simplify(const Graph& multi) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(multi.num_edges());
+  for (NodeId v = 0; v < multi.num_nodes(); ++v) {
+    for (const NodeId w : multi.neighbors(v)) {
+      if (v < w) edges.emplace_back(v, w);
+    }
+  }
+  return Graph::from_edges(multi.num_nodes(), edges, /*dedup=*/true);
+}
+
+}  // namespace byz::graph

@@ -1,0 +1,27 @@
+// The H(n, d) random regular multigraph model of §2.1/§A: the union of d/2
+// independent uniformly random Hamiltonian cycles on the same vertex set.
+// With high probability the result is a near-Ramanujan expander
+// (Friedman 1991; Law & Siu 2003 used the same model for P2P overlays).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+
+/// Generates one H(n, d) sample.
+///
+/// Requirements: d even, d >= 4, n >= 3 (a Hamiltonian cycle needs at least
+/// three nodes to avoid parallel self-pairing). Parallel edges between
+/// cycles are preserved: the result is an exactly d-regular multigraph.
+/// Throws std::invalid_argument on bad parameters.
+[[nodiscard]] Graph build_hamiltonian_graph(NodeId n, std::uint32_t d,
+                                            util::Xoshiro256& rng);
+
+/// The same sample with parallel edges removed (simple-graph view used for
+/// metrics that assume simple graphs, e.g. clustering coefficients).
+[[nodiscard]] Graph simplify(const Graph& multi);
+
+}  // namespace byz::graph

@@ -1,0 +1,93 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace byz::graph {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# nodes " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::uint32_t self_slots = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      if (w == v) {
+        ++self_slots;  // a self-loop occupies two slots of v's list
+      } else if (v < w) {
+        out << v << ' ' << w << '\n';
+      }
+    }
+    for (std::uint32_t i = 0; i < self_slots / 2; ++i) {
+      out << v << ' ' << v << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  NodeId n = 0;
+  bool have_header = false;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash;
+      std::string word;
+      std::uint64_t count = 0;
+      if (header >> hash >> word >> count && word == "nodes") {
+        n = static_cast<NodeId>(count);
+        have_header = true;
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::uint64_t u = 0;
+    std::uint64_t w = 0;
+    if (!(row >> u >> w)) {
+      throw std::runtime_error("read_edge_list: malformed line " +
+                               std::to_string(line_no) + ": " + line);
+    }
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(w));
+  }
+  if (!have_header) {
+    throw std::runtime_error("read_edge_list: missing '# nodes <n>' header");
+  }
+  return Graph::from_edges(n, edges, /*dedup=*/false);
+}
+
+void save_edge_list(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, g);
+  if (!out) throw std::runtime_error("save_edge_list: write failure");
+}
+
+Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<bool>& highlight) {
+  out << "graph byzcount {\n  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  n" << v;
+    if (v < highlight.size() && highlight[v]) {
+      out << " [style=filled, fillcolor=red]";
+    }
+    out << ";\n";
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (v <= w) out << "  n" << v << " -- n" << w << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace byz::graph

@@ -1,0 +1,31 @@
+// Graph import/export: whitespace edge lists (round-trippable) and
+// Graphviz DOT (for visualizing small overlays). Lets downstream users
+// feed their own overlay topologies into the protocols, per the paper's
+// remark that any graph with high expansion + clustering should work.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace byz::graph {
+
+/// Writes one "u v" line per undirected edge (parallel edges repeated),
+/// preceded by a "# nodes <n>" header so isolated nodes survive.
+void write_edge_list(std::ostream& out, const Graph& g);
+
+/// Parses the write_edge_list format. Throws std::runtime_error on
+/// malformed input (bad header, non-numeric tokens, ids out of range).
+[[nodiscard]] Graph read_edge_list(std::istream& in);
+
+/// Convenience file wrappers.
+void save_edge_list(const std::string& path, const Graph& g);
+[[nodiscard]] Graph load_edge_list(const std::string& path);
+
+/// Graphviz rendering (undirected). `highlight` (optional, may be empty)
+/// marks nodes (e.g. Byzantine) with a distinct style.
+void write_dot(std::ostream& out, const Graph& g,
+               const std::vector<bool>& highlight = {});
+
+}  // namespace byz::graph

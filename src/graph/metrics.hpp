@@ -1,0 +1,36 @@
+// Whole-graph metrics used by the small-world and expansion experiments:
+// clustering coefficient, diameter (exact or bounded), average path length.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace byz::graph {
+
+/// Average local clustering coefficient (Watts–Strogatz definition):
+/// mean over nodes of (#edges among neighbors) / C(deg, 2). Nodes with
+/// degree < 2 contribute 0. `sample` = 0 means exact over all nodes;
+/// otherwise `sample` nodes drawn with the given seed.
+[[nodiscard]] double average_clustering(const Graph& simple, std::uint32_t sample,
+                                        std::uint64_t seed);
+
+struct DiameterResult {
+  std::uint32_t value = 0;  ///< exact diameter or the best lower bound found
+  bool exact = false;
+};
+
+/// Diameter of the (assumed connected) graph. Runs all-pairs BFS when
+/// n <= exact_threshold; otherwise iterated double-sweep from `probes`
+/// random starts, which yields a lower bound that is in practice tight on
+/// expanders.
+[[nodiscard]] DiameterResult diameter(const Graph& g,
+                                      std::uint32_t exact_threshold = 4096,
+                                      std::uint32_t probes = 8,
+                                      std::uint64_t seed = 1);
+
+/// Mean shortest-path length over `sources` sampled BFS roots.
+[[nodiscard]] double average_path_length(const Graph& g, std::uint32_t sources,
+                                         std::uint64_t seed);
+
+}  // namespace byz::graph

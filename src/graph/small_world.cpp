@@ -1,0 +1,85 @@
+#include "graph/small_world.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+#include "graph/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+
+Overlay Overlay::build(const OverlayParams& params) {
+  Overlay o;
+  o.params_ = params;
+  o.k_ = params.k == 0 ? paper_k(params.d) : params.k;
+  if (o.k_ == 0) throw std::invalid_argument("Overlay: k must be >= 1");
+
+  util::Xoshiro256 rng(params.seed);
+  o.h_ = build_hamiltonian_graph(params.n, params.d, rng);
+  o.h_simple_ = simplify(o.h_);
+
+  const NodeId n = params.n;
+  const std::uint32_t k = o.k_;
+
+  // Pass 1: ball sizes (excluding the center) -> CSR offsets.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(n) + 1, 0);
+#pragma omp parallel
+  {
+    BfsScratch scratch;
+    std::vector<BallEntry> ball;
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+      bfs_ball(o.h_simple_, static_cast<NodeId>(v), k, scratch, ball);
+      counts[static_cast<std::size_t>(v) + 1] = ball.size() - 1;  // minus self
+    }
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+
+  // Pass 2: fill node/dist arrays, sorted by neighbor id per node so the
+  // Graph invariants (sorted adjacency) hold and h_dist can binary-search.
+  std::vector<NodeId> nodes(counts.back());
+  std::vector<std::uint8_t> dists(counts.back());
+#pragma omp parallel
+  {
+    BfsScratch scratch;
+    std::vector<BallEntry> ball;
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t sv = 0; sv < static_cast<std::int64_t>(n); ++sv) {
+      const auto v = static_cast<NodeId>(sv);
+      bfs_ball(o.h_simple_, v, k, scratch, ball);
+      std::sort(ball.begin() + 1, ball.end(),
+                [](const BallEntry& a, const BallEntry& b) {
+                  return a.node < b.node;
+                });
+      std::uint64_t w = counts[v];
+      for (std::size_t i = 1; i < ball.size(); ++i, ++w) {
+        nodes[w] = ball[i].node;
+        dists[w] = ball[i].dist;
+      }
+    }
+  }
+
+  // Assemble the G CSR directly from the per-node sorted ranges.
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    adj[v].assign(nodes.begin() + static_cast<std::ptrdiff_t>(counts[v]),
+                  nodes.begin() + static_cast<std::ptrdiff_t>(counts[v + 1]));
+  }
+  o.g_ = Graph::from_adjacency(std::move(adj));
+  o.g_dist_ = std::move(dists);
+  return o;
+}
+
+std::uint8_t Overlay::h_dist(NodeId v, NodeId w) const {
+  if (v == w) return 0;
+  const auto nbrs = g_.neighbors(v);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), w);
+  if (it == nbrs.end() || *it != w) return kNotInBall;
+  const auto slot = static_cast<std::uint64_t>(it - nbrs.begin());
+  return g_dist_[g_.first_slot(v) + slot];
+}
+
+}  // namespace byz::graph

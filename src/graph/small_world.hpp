@@ -1,0 +1,77 @@
+// The small-world overlay of §2.1: G = H ∪ L where (u,v) ∈ E(L) iff
+// dist_H(u,v) <= k, k = ceil(d/3). Adding L raises the clustering
+// coefficient (neighbors of a node are interconnected) while H supplies the
+// expansion; Algorithm 2 exploits both. Nodes do NOT know which of their
+// G-edges are H-edges — the protocol reconstructs that (Lemma 3) — but the
+// simulator of course does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace byz::graph {
+
+struct OverlayParams {
+  NodeId n = 0;
+  std::uint32_t d = 8;       ///< H-degree; even, >= 4
+  std::uint32_t k = 0;       ///< L-radius; 0 means the paper's ceil(d/3)
+  std::uint64_t seed = 1;    ///< drives the H(n,d) sample
+};
+
+/// Distance value meaning "w is not within v's k-ball".
+inline constexpr std::uint8_t kNotInBall = 0xFF;
+
+/// A sampled overlay: the H multigraph, its simple view, and the dedup'd
+/// G = k-ball adjacency annotated with exact H-distances per slot.
+class Overlay {
+ public:
+  /// Samples H(n,d) and materializes G. Cost: one bounded BFS per node
+  /// (OpenMP-parallel); memory O(n * (d-1)^k).
+  [[nodiscard]] static Overlay build(const OverlayParams& params);
+
+  [[nodiscard]] const OverlayParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return h_.num_nodes(); }
+
+  [[nodiscard]] const Graph& h() const noexcept { return h_; }
+  [[nodiscard]] const Graph& h_simple() const noexcept { return h_simple_; }
+  [[nodiscard]] const Graph& g() const noexcept { return g_; }
+
+  /// H-distances aligned with g().neighbors(v); values in [1, k].
+  [[nodiscard]] std::span<const std::uint8_t> g_dists(NodeId v) const {
+    return {g_dist_.data() + g_.first_slot(v),
+            g_dist_.data() + g_.first_slot(v) + g_.degree(v)};
+  }
+
+  /// Exact H-distance from v to w if w lies within v's k-ball, else
+  /// kNotInBall. O(log deg_G(v)).
+  [[nodiscard]] std::uint8_t h_dist(NodeId v, NodeId w) const;
+
+  /// v's H-neighbors (distance exactly 1 within G's annotation); equals
+  /// h_simple().neighbors(v).
+  [[nodiscard]] std::span<const NodeId> h_neighbors(NodeId v) const {
+    return h_simple_.neighbors(v);
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return h_.memory_bytes() + h_simple_.memory_bytes() + g_.memory_bytes() +
+           g_dist_.size();
+  }
+
+ private:
+  OverlayParams params_;
+  std::uint32_t k_ = 0;
+  Graph h_;
+  Graph h_simple_;
+  Graph g_;
+  std::vector<std::uint8_t> g_dist_;
+};
+
+/// The paper's k = ceil(d/3).
+[[nodiscard]] constexpr std::uint32_t paper_k(std::uint32_t d) noexcept {
+  return (d + 2) / 3;
+}
+
+}  // namespace byz::graph

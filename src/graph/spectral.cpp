@@ -1,0 +1,154 @@
+#include "graph/spectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace byz::graph {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace
+
+SpectralResult second_eigenvalue(const Graph& g, int max_iters,
+                                 double tolerance, std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("second_eigenvalue: need n >= 2");
+
+  // Top eigenvector of the normalized adjacency is proportional to
+  // sqrt(deg); precompute it (unit norm) for deflation.
+  std::vector<double> top(n);
+  std::vector<double> inv_sqrt_deg(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const double deg = std::max<std::uint32_t>(g.degree(v), 1);
+    top[v] = std::sqrt(deg);
+    inv_sqrt_deg[v] = 1.0 / std::sqrt(deg);
+  }
+  const double top_norm = norm(top);
+  for (auto& t : top) t /= top_norm;
+
+  util::Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (auto& xi : x) xi = rng.uniform() - 0.5;
+
+  auto deflate = [&](std::vector<double>& vec) {
+    const double c = dot(vec, top);
+    for (std::size_t i = 0; i < vec.size(); ++i) vec[i] -= c * top[i];
+  };
+  deflate(x);
+  {
+    const double nx = norm(x);
+    if (nx == 0.0) throw std::runtime_error("second_eigenvalue: degenerate start");
+    for (auto& xi : x) xi /= nx;
+  }
+
+  // Power-iterate M = N + I (eigenvalues 1 + mu_i >= 0); after deflation the
+  // dominant eigenvalue is 1 + mu2.
+  std::vector<double> y(n);
+  double prev = 0.0;
+  int it = 0;
+  for (; it < max_iters; ++it) {
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (const NodeId w : g.neighbors(v)) {
+        acc += x[w] * inv_sqrt_deg[w];
+      }
+      y[v] = acc * inv_sqrt_deg[v] + x[v];  // (N + I) x
+    }
+    deflate(y);
+    const double ny = norm(y);
+    if (ny == 0.0) break;
+    for (NodeId v = 0; v < n; ++v) y[v] /= ny;
+    const double est = ny;  // Rayleigh-ish: ||Mx|| for unit x
+    x.swap(y);
+    if (it > 4 && std::abs(est - prev) < tolerance) {
+      prev = est;
+      ++it;
+      break;
+    }
+    prev = est;
+  }
+
+  SpectralResult result;
+  result.mu2 = prev - 1.0;
+  double avg_deg = 0.0;
+  for (NodeId v = 0; v < n; ++v) avg_deg += g.degree(v);
+  avg_deg /= static_cast<double>(n);
+  result.lambda2 = result.mu2 * avg_deg;
+  result.iterations = it;
+  result.vector2 = std::move(x);
+  return result;
+}
+
+ExpansionBounds cheeger_bounds(double d, double lambda2) {
+  const double gap = std::max(0.0, d - lambda2);
+  return ExpansionBounds{gap / 2.0, std::sqrt(2.0 * d * gap)};
+}
+
+double sweep_cut_expansion(const Graph& g, const std::vector<double>& embedding) {
+  const NodeId n = g.num_nodes();
+  if (embedding.size() != n || n < 2) {
+    throw std::invalid_argument("sweep_cut_expansion: bad embedding size");
+  }
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return embedding[a] < embedding[b]; });
+
+  // Incremental boundary maintenance: adding v toggles each incident edge's
+  // crossing status.
+  std::vector<bool> in_set(n, false);
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t boundary = 0;
+  for (NodeId i = 0; i + 1 < n; ++i) {  // prefix sizes 1..n-1
+    const NodeId v = order[i];
+    in_set[v] = true;
+    for (const NodeId w : g.neighbors(v)) {
+      if (w == v) continue;
+      if (in_set[w]) {
+        --boundary;
+      } else {
+        ++boundary;
+      }
+    }
+    const std::uint64_t size = i + 1;
+    const std::uint64_t smaller = std::min<std::uint64_t>(size, n - size);
+    if (smaller == 0) continue;
+    best = std::min(best, static_cast<double>(boundary) /
+                              static_cast<double>(smaller));
+  }
+  return best;
+}
+
+double cut_expansion(const Graph& g, const std::vector<bool>& in_set) {
+  const NodeId n = g.num_nodes();
+  if (in_set.size() != n) {
+    throw std::invalid_argument("cut_expansion: mask size mismatch");
+  }
+  std::uint64_t size = 0;
+  std::uint64_t boundary = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!in_set[v]) continue;
+    ++size;
+    for (const NodeId w : g.neighbors(v)) {
+      if (!in_set[w]) ++boundary;
+    }
+  }
+  const std::uint64_t smaller = std::min<std::uint64_t>(size, n - size);
+  if (smaller == 0) return 0.0;
+  return static_cast<double>(boundary) / static_cast<double>(smaller);
+}
+
+}  // namespace byz::graph

@@ -1,0 +1,52 @@
+// Spectral machinery for the expansion experiments (E2, E10).
+//
+// For a connected d-regular graph the adjacency spectrum is
+// d = λ1 > λ2 >= ... >= λn >= -d, and edge expansion obeys the Cheeger-type
+// bounds (d - λ2)/2 <= h(G) <= sqrt(2 d (d - λ2)). Friedman's theorem says
+// random regular graphs achieve λ2 ≈ 2√(d-1) (near-Ramanujan), which is
+// what Lemma 19 of the paper relies on. For non-regular graphs (the Core
+// after crashes) we work with the normalized adjacency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace byz::graph {
+
+struct SpectralResult {
+  double mu2 = 0.0;       ///< 2nd eigenvalue of the normalized adjacency
+  double lambda2 = 0.0;   ///< mu2 * d for regular graphs (else mu2 * avg deg)
+  int iterations = 0;     ///< power-iteration steps used
+  std::vector<double> vector2;  ///< the (approximate) 2nd eigenvector
+};
+
+/// Approximates the second eigenvalue of the normalized adjacency
+/// N = D^{-1/2} A D^{-1/2} by shifted power iteration (on N + I, which is
+/// PSD-shifted so the top deflated eigenvalue is 1 + mu2) with deflation
+/// against the known top eigenvector D^{1/2}·1. Multigraph slots count with
+/// multiplicity, matching the degree.
+[[nodiscard]] SpectralResult second_eigenvalue(const Graph& g, int max_iters,
+                                               double tolerance,
+                                               std::uint64_t seed);
+
+/// Cheeger-style bounds on the edge expansion h(G) = min_{|S|<=n/2} |∂S|/|S|
+/// of a d-regular graph, derived from lambda2.
+struct ExpansionBounds {
+  double lower = 0.0;  ///< (d - lambda2) / 2
+  double upper = 0.0;  ///< sqrt(2 d (d - lambda2))
+};
+[[nodiscard]] ExpansionBounds cheeger_bounds(double d, double lambda2);
+
+/// Sweep cut over the given embedding vector: sorts nodes by component and
+/// returns the best (smallest) |∂S|/|S| over all prefixes with |S| <= n/2.
+/// This upper-bounds h(G) constructively.
+[[nodiscard]] double sweep_cut_expansion(const Graph& g,
+                                         const std::vector<double>& embedding);
+
+/// Edge expansion of an explicit cut S (indicator mask), |∂S| / min(|S|,|S̄|).
+[[nodiscard]] double cut_expansion(const Graph& g,
+                                   const std::vector<bool>& in_set);
+
+}  // namespace byz::graph

@@ -1,0 +1,37 @@
+#include "protocols/color.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace byz::proto {
+
+double ell(std::uint32_t d, std::uint32_t r) {
+  if (d < 3) throw std::invalid_argument("ell: need d >= 3");
+  return std::log2(static_cast<double>(d)) +
+         static_cast<double>(r) * std::log2(static_cast<double>(d - 1));
+}
+
+double continue_threshold(std::uint32_t i, std::uint32_t d) {
+  if (i == 0) throw std::invalid_argument("continue_threshold: phase >= 1");
+  const double li = ell(d, i - 1);
+  return li - std::log2(li);
+}
+
+Color color_at(std::uint64_t color_seed, std::uint32_t node,
+               std::uint32_t global_subphase) noexcept {
+  util::Xoshiro256 rng(
+      util::mix_seed(util::mix_seed(color_seed, node), global_subphase));
+  return draw_color(rng);
+}
+
+double prob_color_eq(std::uint32_t r) { return std::pow(0.5, r); }
+
+double prob_color_ge(std::uint32_t r) {
+  return r <= 1 ? 1.0 : std::pow(0.5, r - 1);
+}
+
+double prob_max_color_le(std::uint32_t r, double n) {
+  return std::pow(1.0 - std::pow(0.5, r), n);
+}
+
+}  // namespace byz::proto

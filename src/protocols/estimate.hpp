@@ -1,0 +1,50 @@
+// Per-node protocol outcomes shared by the message-level engine and the
+// fast path, plus the accuracy summaries the experiments report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace byz::proto {
+
+enum class NodeStatus : std::uint8_t {
+  kDecided,    ///< honest, terminated with an estimate
+  kUndecided,  ///< honest, still active when the phase cap was reached
+  kCrashed,    ///< honest, shut down by the Algorithm-2 line-2 crash rule
+  kByzantine,
+};
+
+struct RunResult {
+  std::vector<NodeStatus> status;       ///< per node
+  std::vector<std::uint32_t> estimate;  ///< decided phase i (0 if none)
+  std::uint32_t phases_executed = 0;
+  std::uint64_t flood_rounds = 0;       ///< protocol rounds (paper's count)
+  sim::Instrumentation instr;
+};
+
+/// Accuracy summary against the true size n: the paper's guarantee is that
+/// all but ε·n honest nodes land in [c1·log n, c2·log n].
+struct Accuracy {
+  std::uint64_t honest = 0;
+  std::uint64_t decided = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t undecided = 0;
+  std::uint64_t in_band = 0;       ///< decided with ratio in [lo, hi]
+  double min_ratio = 0.0;          ///< min over decided of est / log2(n)
+  double max_ratio = 0.0;
+  double mean_ratio = 0.0;
+  double frac_in_band = 0.0;       ///< in_band / honest
+  double frac_good = 0.0;          ///< in_band / decided
+};
+
+/// Computes the summary. `lo`/`hi` bound the accepted ratio est/log2(n);
+/// the defaults cover the d-dependent termination point diameter ≈
+/// log n / log(d-1) with generous slack (a "constant factor" band).
+[[nodiscard]] Accuracy summarize_accuracy(const RunResult& result,
+                                          std::uint64_t true_n,
+                                          double lo = 0.05, double hi = 3.0);
+
+}  // namespace byz::proto

@@ -1,0 +1,187 @@
+#include "protocols/fastpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "protocols/color.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/neighborhood.hpp"
+#include "sim/world.hpp"
+#include "util/log.hpp"
+
+namespace byz::proto {
+
+using graph::NodeId;
+
+std::uint32_t resolve_max_phase(const graph::Overlay& overlay,
+                                const ProtocolConfig& cfg) {
+  if (cfg.max_phase != 0) return cfg.max_phase;
+  const double n = overlay.num_nodes();
+  const double d = overlay.params().d;
+  return static_cast<std::uint32_t>(
+             std::ceil(4.0 * std::log2(n) / std::log2(d - 1.0))) +
+         8;
+}
+
+RunResult run_counting(const graph::Overlay& overlay,
+                       const std::vector<bool>& byz_mask,
+                       adv::Strategy& strategy, const ProtocolConfig& cfg,
+                       std::uint64_t color_seed) {
+  const NodeId n = overlay.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("run_counting: mask size mismatch");
+  }
+  const std::uint32_t d = overlay.params().d;
+
+  RunResult result;
+  result.status.assign(n, NodeStatus::kUndecided);
+  result.estimate.assign(n, 0);
+
+  const sim::World world = sim::World::make(overlay, byz_mask, color_seed);
+  for (const NodeId b : world.byz_nodes) {
+    result.status[b] = NodeStatus::kByzantine;
+  }
+
+  // Setup: adjacency exchange, lies, crash rule (Algorithm 2 lines 1-2).
+  proto::ClaimSet claims(overlay);
+  strategy.setup_lies(world, claims);
+  std::vector<bool> crashed(n, false);
+  if (cfg.crash_rule) {
+    crashed = compute_crash_set(claims, byz_mask, &result.instr);
+    for (NodeId v = 0; v < n; ++v) {
+      if (crashed[v] && !byz_mask[v]) result.status[v] = NodeStatus::kCrashed;
+    }
+  }
+
+  const Verifier verifier(overlay, byz_mask, cfg.verification);
+  const std::uint32_t max_phase = resolve_max_phase(overlay, cfg);
+  const bool byz_gen = strategy.generates_honestly();
+
+  // active = honest, uncrashed, undecided (still generates tokens).
+  std::vector<bool> active(n, false);
+  std::uint64_t active_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!byz_mask[v] && !crashed[v]) {
+      active[v] = true;
+      ++active_count;
+    }
+  }
+
+  FloodWorkspace ws;
+  std::vector<Color> gen(n, 0);
+  std::vector<Injection> injections;
+  std::vector<bool> fired(n, false);
+
+  std::uint32_t phase = 0;
+  while (phase < max_phase && active_count > 0) {
+    ++phase;
+    const std::uint32_t subphases = subphases_in_phase(phase, d, cfg.schedule);
+    std::fill(fired.begin(), fired.end(), false);
+    const double threshold = continue_threshold(phase, d);
+
+    for (std::uint32_t j = 1; j <= subphases; ++j) {
+      const std::uint32_t s =
+          global_subphase_index(phase, j, d, cfg.schedule);
+      // Colors: active honest nodes generate; decided/crashed do not;
+      // Byzantine nodes generate their honest draw only if the strategy
+      // mimics the protocol.
+      for (NodeId v = 0; v < n; ++v) {
+        if (active[v] || (byz_mask[v] && byz_gen)) {
+          gen[v] = color_at(color_seed, v, s);
+        } else {
+          gen[v] = 0;
+        }
+      }
+      injections.clear();
+      strategy.plan_subphase(world, {phase, j, s}, injections);
+
+      FloodParams params;
+      params.steps = phase;
+      params.byz_forward = strategy.forwards_floods();
+      run_flood_subphase(overlay, byz_mask, crashed, verifier, params, gen,
+                         injections, ws, result.instr);
+
+      // Line 18: the phase "continues" for v if the final-step max strictly
+      // beats every earlier step AND clears the threshold, in ANY subphase.
+      for (NodeId v = 0; v < n; ++v) {
+        if (!active[v] || fired[v]) continue;
+        const Color ki = ws.last_step[v];
+        if (ki > ws.best_before[v] &&
+            static_cast<double>(ki) > threshold) {
+          fired[v] = true;
+        }
+      }
+    }
+
+    // Nodes with FlagTerminate still set accept i as the estimate of log n.
+    std::uint64_t decided_now = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (active[v] && !fired[v]) {
+        active[v] = false;
+        --active_count;
+        result.status[v] = NodeStatus::kDecided;
+        result.estimate[v] = phase;
+        ++decided_now;
+      }
+    }
+    BYZ_TRACE << "phase " << phase << ": " << subphases << " subphases, "
+              << decided_now << " nodes decided (estimate=" << phase << "), "
+              << active_count << " still active";
+  }
+  result.phases_executed = phase;
+  result.flood_rounds = result.instr.flood_rounds;
+  return result;
+}
+
+RunResult run_basic_counting(const graph::Overlay& overlay,
+                             std::uint64_t color_seed, ScheduleConfig sched) {
+  std::vector<bool> byz(overlay.num_nodes(), false);
+  auto strategy = adv::make_strategy(adv::StrategyKind::kHonest);
+  return run_counting(overlay, byz, *strategy, basic_config(sched), color_seed);
+}
+
+Accuracy summarize_accuracy(const RunResult& result, std::uint64_t true_n,
+                            double lo, double hi) {
+  Accuracy acc;
+  const double log_n = std::log2(static_cast<double>(true_n));
+  double sum_ratio = 0.0;
+  acc.min_ratio = std::numeric_limits<double>::infinity();
+  acc.max_ratio = 0.0;
+  for (std::size_t v = 0; v < result.status.size(); ++v) {
+    switch (result.status[v]) {
+      case NodeStatus::kByzantine: continue;
+      case NodeStatus::kCrashed:
+        ++acc.honest;
+        ++acc.crashed;
+        continue;
+      case NodeStatus::kUndecided:
+        ++acc.honest;
+        ++acc.undecided;
+        continue;
+      case NodeStatus::kDecided: {
+        ++acc.honest;
+        ++acc.decided;
+        const double ratio = static_cast<double>(result.estimate[v]) / log_n;
+        sum_ratio += ratio;
+        acc.min_ratio = std::min(acc.min_ratio, ratio);
+        acc.max_ratio = std::max(acc.max_ratio, ratio);
+        if (ratio >= lo && ratio <= hi) ++acc.in_band;
+        continue;
+      }
+    }
+  }
+  if (acc.decided > 0) {
+    acc.mean_ratio = sum_ratio / static_cast<double>(acc.decided);
+  } else {
+    acc.min_ratio = 0.0;
+  }
+  acc.frac_in_band =
+      acc.honest ? static_cast<double>(acc.in_band) / static_cast<double>(acc.honest) : 0.0;
+  acc.frac_good =
+      acc.decided ? static_cast<double>(acc.in_band) / static_cast<double>(acc.decided) : 0.0;
+  return acc;
+}
+
+}  // namespace byz::proto

@@ -1,0 +1,53 @@
+// Whole-network protocol execution, array-based (the optimized tier; the
+// message-level reference implementation lives in sim/engine.*). Runs
+// Algorithm 2 — and Algorithm 1 as the ablation with verification and the
+// crash rule disabled — phase by phase until every honest node has decided
+// or the phase cap is reached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/estimate.hpp"
+#include "protocols/schedule.hpp"
+#include "protocols/verification.hpp"
+
+namespace byz::proto {
+
+struct ProtocolConfig {
+  ScheduleConfig schedule;
+  VerificationConfig verification;
+  bool crash_rule = true;     ///< Algorithm 2 line 2 (ablation switch)
+  std::uint32_t max_phase = 0;  ///< 0 = auto: 4·log2(n)/log2(d-1) + 8
+};
+
+/// The Algorithm-1 configuration: no Byzantine countermeasures at all.
+[[nodiscard]] inline ProtocolConfig basic_config(ScheduleConfig sched = {}) {
+  ProtocolConfig cfg;
+  cfg.schedule = sched;
+  cfg.verification.enabled = false;
+  cfg.crash_rule = false;
+  return cfg;
+}
+
+/// Resolved phase cap for a given overlay.
+[[nodiscard]] std::uint32_t resolve_max_phase(const graph::Overlay& overlay,
+                                              const ProtocolConfig& cfg);
+
+/// Runs the (Byzantine) counting protocol. `byz_mask` marks Byzantine
+/// nodes (all-false = the clean setting of §3.1/§3.2); `strategy` drives
+/// them; `color_seed` keys the coin table shared with the adversary.
+[[nodiscard]] RunResult run_counting(const graph::Overlay& overlay,
+                                     const std::vector<bool>& byz_mask,
+                                     adv::Strategy& strategy,
+                                     const ProtocolConfig& cfg,
+                                     std::uint64_t color_seed);
+
+/// Algorithm 1 with no Byzantine nodes at all (§3.1's exposition setting).
+[[nodiscard]] RunResult run_basic_counting(const graph::Overlay& overlay,
+                                           std::uint64_t color_seed,
+                                           ScheduleConfig sched = {});
+
+}  // namespace byz::proto

@@ -1,0 +1,67 @@
+// The per-subphase flood kernel (Algorithm 1/2 lines 10-17 inner loop),
+// array-based. One subphase of phase i floods colors along H for exactly i
+// steps under the forward-once rule: a node re-broadcasts only when its
+// running maximum improves, so each send carries the sender's fresh max.
+// Byzantine senders are driven by injections; honest receivers filter every
+// received color through the Verifier.
+//
+// Per-node bookkeeping matches the pseudocode: k_t is the maximum ACCEPTED
+// color received in step t; the subphase "fires" for v iff
+//   k_i > k_t for all t < i   and   k_i > continue_threshold(i, d).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/small_world.hpp"
+#include "protocols/color.hpp"
+#include "protocols/verification.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace byz::proto {
+
+/// One Byzantine token emission: node `from` sends `value` to its
+/// H-neighbors at subphase step `step` (1-based). Acceptance is decided by
+/// the Verifier at each honest receiver.
+struct Injection {
+  graph::NodeId from;
+  std::uint32_t step;
+  Color value;
+};
+
+/// Reusable per-subphase state (avoids reallocation across the hundreds of
+/// subphases of a run).
+class FloodWorkspace {
+ public:
+  void ensure(graph::NodeId n);
+
+  std::vector<Color> known;          ///< running max (own color at start)
+  std::vector<std::uint32_t> fresh;  ///< step at which known last improved
+  std::vector<Color> best_before;    ///< max over k_t, t < current
+  std::vector<Color> last_step;      ///< k_i of the final step
+  std::vector<Color> recv;           ///< per-step accepted receive max
+  std::vector<graph::NodeId> frontier;
+  std::vector<graph::NodeId> next_frontier;
+  std::vector<graph::NodeId> touched;
+};
+
+struct FloodParams {
+  std::uint32_t steps = 1;      ///< = phase index i
+  bool byz_forward = true;      ///< Byzantine nodes relay the flood
+};
+
+/// Runs one subphase. `gen_color[v]` is v's generated color (0 = does not
+/// generate: decided or crashed honest nodes, and Byzantine nodes whose
+/// strategy emits via `injections` instead). `crashed[v]` nodes neither
+/// send nor receive. Outputs land in the workspace (`best_before`,
+/// `last_step` drive the caller's termination predicate).
+void run_flood_subphase(const graph::Overlay& overlay,
+                        const std::vector<bool>& byz_mask,
+                        const std::vector<bool>& crashed,
+                        const Verifier& verifier, const FloodParams& params,
+                        std::span<const Color> gen_color,
+                        std::span<const Injection> injections,
+                        FloodWorkspace& ws, sim::Instrumentation& instr);
+
+}  // namespace byz::proto

@@ -1,0 +1,147 @@
+#include "protocols/neighborhood.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace byz::proto {
+
+using graph::NodeId;
+
+void ClaimSet::set_claim(NodeId u, std::vector<NodeId> claimed) {
+  std::sort(claimed.begin(), claimed.end());
+  claimed.erase(std::unique(claimed.begin(), claimed.end()), claimed.end());
+  overrides_[u] = std::move(claimed);
+}
+
+std::span<const NodeId> ClaimSet::claimed(NodeId u) const {
+  if (overrides_[u]) return *overrides_[u];
+  return overlay_->g().neighbors(u);
+}
+
+namespace {
+
+/// Membership test in a sorted claim list.
+bool claims_edge(const ClaimSet& claims, NodeId u, NodeId w) {
+  const auto list = claims.claimed(u);
+  return std::binary_search(list.begin(), list.end(), w);
+}
+
+}  // namespace
+
+bool detects_conflict(const ClaimSet& claims, NodeId v) {
+  const auto& g = claims.overlay().g();
+  const auto nbrs = g.neighbors(v);
+  for (std::size_t a = 0; a < nbrs.size(); ++a) {
+    // A neighbor denying the very channel v holds to it is a contradiction
+    // v can observe directly (ids cannot be faked on channels, §2.1).
+    if (!claims_edge(claims, nbrs[a], v)) return true;
+    for (std::size_t b = a + 1; b < nbrs.size(); ++b) {
+      const NodeId u = nbrs[a];
+      const NodeId w = nbrs[b];
+      if (claims_edge(claims, u, w) != claims_edge(claims, w, u)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<bool> compute_crash_set(const ClaimSet& claims,
+                                    const std::vector<bool>& byz_mask,
+                                    sim::Instrumentation* instr) {
+  const auto& overlay = claims.overlay();
+  const auto& g = overlay.g();
+  const NodeId n = g.num_nodes();
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("compute_crash_set: mask size mismatch");
+  }
+  std::vector<bool> crashed(n, false);
+
+  if (instr != nullptr) {
+    // Every node ships its claimed list to each G-neighbor once.
+    for (NodeId u = 0; u < n; ++u) {
+      const auto len = claims.claimed(u).size();
+      for (std::uint64_t e = 0; e < g.degree(u); ++e) {
+        instr->count_setup_list(len);
+      }
+    }
+  }
+
+  // Honest claims are truthful, hence pairwise consistent: only pairs with
+  // at least one Byzantine (or otherwise lying) member can conflict.
+  for (NodeId v = 0; v < n; ++v) {
+    if (byz_mask[v]) continue;
+    const auto nbrs = g.neighbors(v);
+    bool conflict = false;
+    for (std::size_t a = 0; a < nbrs.size() && !conflict; ++a) {
+      const NodeId u = nbrs[a];
+      if (!byz_mask[u] && claims.truthful(u)) continue;
+      if (!claims_edge(claims, u, v)) {  // denies the direct channel
+        conflict = true;
+        break;
+      }
+      for (std::size_t b = 0; b < nbrs.size() && !conflict; ++b) {
+        const NodeId w = nbrs[b];
+        if (w == u) continue;
+        if (claims_edge(claims, u, w) != claims_edge(claims, w, u)) {
+          conflict = true;
+        }
+      }
+    }
+    crashed[v] = conflict;
+    if (conflict && instr != nullptr) ++instr->crashes;
+  }
+  return crashed;
+}
+
+Reconstruction reconstruct_neighborhood(const ClaimSet& claims, NodeId v) {
+  Reconstruction rec;
+  rec.conflict = detects_conflict(claims, v);
+  if (rec.conflict) return rec;
+
+  const auto& g = claims.overlay().g();
+  const auto nbrs = g.neighbors(v);
+  const std::size_t deg = nbrs.size();
+
+  // Bitset rows: I_u = N_G[u] ∩ N_G(v) with CLOSED neighborhoods (u ∈ N[u]),
+  // indexed by position in nbrs. Closure is what makes the Lemma-3 subset
+  // order work: a child's intersection contains its parent, so the parent
+  // must appear in its own set for the containment to be strict.
+  const std::size_t words = (deg + 63) / 64;
+  std::vector<std::uint64_t> rows(deg * words, 0);
+  for (std::size_t a = 0; a < deg; ++a) {
+    rows[a * words + a / 64] |= (1ULL << (a % 64));  // self (closure)
+    const auto list = claims.claimed(nbrs[a]);
+    // Walk the two sorted sequences in tandem.
+    std::size_t bi = 0;
+    for (const NodeId w : list) {
+      while (bi < deg && nbrs[bi] < w) ++bi;
+      if (bi == deg) break;
+      if (nbrs[bi] == w) {
+        rows[a * words + bi / 64] |= (1ULL << (bi % 64));
+      }
+    }
+  }
+
+  auto strict_subset = [&](std::size_t a, std::size_t b) {
+    // I_a ⊂ I_b (strict)?
+    bool equal = true;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t ra = rows[a * words + w];
+      const std::uint64_t rb = rows[b * words + w];
+      if ((ra & ~rb) != 0) return false;  // something in a not in b
+      if (ra != rb) equal = false;
+    }
+    return !equal;
+  };
+
+  // H-neighbors = maximal elements of the intersection order.
+  for (std::size_t a = 0; a < deg; ++a) {
+    bool maximal = true;
+    for (std::size_t b = 0; b < deg && maximal; ++b) {
+      if (b != a && strict_subset(a, b)) maximal = false;
+    }
+    if (maximal) rec.h_neighbors.push_back(nbrs[a]);
+  }
+  return rec;
+}
+
+}  // namespace byz::proto

@@ -1,0 +1,78 @@
+// Setup stage of Algorithm 2 (lines 1-2) and Lemma 3:
+//   1. every node presents its G-adjacency list to its G-neighbors,
+//   2. each honest node v cross-checks the claims pairwise: if u asserts
+//      "w is (not) my neighbor" while w asserts the opposite, v has received
+//      contradictory information and crashes (goes into crash failure),
+//   3. absent conflicts, v reconstructs the H-vs-L classification of its
+//      edges via the subset criterion in Lemma 3's proof.
+//
+// Honest nodes always tell the truth, so honest-honest claim pairs can
+// never conflict; every conflict involves a Byzantine claim. The crash-set
+// computation exploits this (it only examines pairs touching a Byzantine
+// node), which makes it exact AND cheap — the message-level engine and the
+// fast path share it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/small_world.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace byz::proto {
+
+/// Adjacency claims: honest nodes implicitly claim the truth; Byzantine
+/// nodes may override their claimed list (one list, shown to everyone —
+/// IDs cannot be faked per §2.1, but lists can lie).
+class ClaimSet {
+ public:
+  explicit ClaimSet(const graph::Overlay& overlay)
+      : overlay_(&overlay), overrides_(overlay.num_nodes()) {}
+
+  /// Installs a lying claim for node u (sorted internally).
+  void set_claim(graph::NodeId u, std::vector<graph::NodeId> claimed);
+
+  /// The list u presents (truth unless overridden).
+  [[nodiscard]] std::span<const graph::NodeId> claimed(graph::NodeId u) const;
+
+  /// True iff u presents the truth.
+  [[nodiscard]] bool truthful(graph::NodeId u) const {
+    return !overrides_[u].has_value();
+  }
+
+  [[nodiscard]] const graph::Overlay& overlay() const { return *overlay_; }
+
+ private:
+  const graph::Overlay* overlay_;
+  std::vector<std::optional<std::vector<graph::NodeId>>> overrides_;
+};
+
+/// Algorithm 2 line 2, for a single node: does v receive contradictory
+/// claims from two of its G-neighbors? (Pairwise XOR test.) Exact but
+/// O(deg^2); used by tests and small-n runs.
+[[nodiscard]] bool detects_conflict(const ClaimSet& claims, graph::NodeId v);
+
+/// Crash set over all honest nodes, computed with the byz-pair shortcut
+/// (provably equal to running detects_conflict everywhere — see the
+/// equivalence test). Counts setup traffic into `instr` if given.
+[[nodiscard]] std::vector<bool> compute_crash_set(
+    const ClaimSet& claims, const std::vector<bool>& byz_mask,
+    sim::Instrumentation* instr = nullptr);
+
+/// Lemma-3 reconstruction result for one node.
+struct Reconstruction {
+  bool conflict = false;                      ///< v would crash
+  std::vector<graph::NodeId> h_neighbors;     ///< believed distance-1 nodes
+};
+
+/// Reconstructs v's believed H-neighborhood from the claims: the maximal
+/// elements of the intersection partial order {N(u) ∩ N(v) : u ∈ N(v)}.
+/// With truthful claims and a locally tree-like neighborhood this equals
+/// the true H-neighbor set (Lemma 3); the unit tests assert exactly that.
+[[nodiscard]] Reconstruction reconstruct_neighborhood(const ClaimSet& claims,
+                                                      graph::NodeId v);
+
+}  // namespace byz::proto

@@ -1,0 +1,99 @@
+#include "protocols/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace byz::proto {
+
+namespace {
+
+void check(const ScheduleConfig& cfg, std::uint32_t i, std::uint32_t d) {
+  if (i == 0) throw std::invalid_argument("schedule: phase >= 1 required");
+  if (d < 3) throw std::invalid_argument("schedule: d >= 3 required");
+  if (!(cfg.epsilon > 0.0 && cfg.epsilon < 1.0)) {
+    throw std::invalid_argument("schedule: epsilon in (0,1) required");
+  }
+}
+
+std::uint32_t clamp_alpha(double a, const ScheduleConfig& cfg) {
+  if (!(a > 0.0)) return 1;
+  return static_cast<std::uint32_t>(
+      std::clamp<double>(std::ceil(a), 1.0, cfg.max_alpha));
+}
+
+/// Pseudocode else-branch: 1 + (i+1)/log(1/ε). Shared fallback.
+std::uint32_t fallback_alpha(std::uint32_t i, const ScheduleConfig& cfg) {
+  const double log_inv_eps = std::log2(1.0 / cfg.epsilon);
+  return clamp_alpha(1.0 + static_cast<double>(i + 1) / log_inv_eps, cfg);
+}
+
+}  // namespace
+
+std::uint32_t alpha_i(std::uint32_t i, std::uint32_t d,
+                      const ScheduleConfig& cfg) {
+  check(cfg, i, d);
+  const double log_inv_eps = std::log2(1.0 / cfg.epsilon);
+  const double log_d = std::log2(static_cast<double>(d));
+  const double log_dm1 = std::log2(static_cast<double>(d - 1));
+  switch (cfg.policy) {
+    case SchedulePolicy::kAppendix: {
+      if (i <= 2) return fallback_alpha(i, cfg);
+      const double numer = log_inv_eps + i + 1 - log_d;
+      const double denom = static_cast<double>(i - 2) * log_dm1;
+      return clamp_alpha(numer / denom, cfg);
+    }
+    case SchedulePolicy::kPseudocode: {
+      // Guard: d (d-1)^(i-2) <= 2/ε.
+      const double log_guard = log_d + static_cast<double>(static_cast<std::int64_t>(i) - 2) * log_dm1;
+      if (log_guard <= std::log2(2.0 / cfg.epsilon)) {
+        const double denom = log_d + static_cast<double>(static_cast<std::int64_t>(i) - 2) * log_dm1;
+        if (denom <= 0.0) return fallback_alpha(i, cfg);
+        return clamp_alpha((log_inv_eps + i + 1) / denom - 1.0, cfg);
+      }
+      return fallback_alpha(i, cfg);
+    }
+  }
+  throw std::logic_error("alpha_i: unknown policy");
+}
+
+std::uint32_t subphases_in_phase(std::uint32_t i, std::uint32_t d,
+                                 const ScheduleConfig& cfg) {
+  const std::uint32_t a = alpha_i(i, d, cfg);
+  return cfg.subphases_times_i ? i * a : a;
+}
+
+std::uint64_t rounds_in_phase(std::uint32_t i, std::uint32_t d,
+                              const ScheduleConfig& cfg) {
+  return static_cast<std::uint64_t>(subphases_in_phase(i, d, cfg)) * i;
+}
+
+std::uint64_t rounds_through_phase(std::uint32_t i, std::uint32_t d,
+                                   const ScheduleConfig& cfg) {
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 1; p <= i; ++p) total += rounds_in_phase(p, d, cfg);
+  return total;
+}
+
+std::uint32_t global_subphase_index(std::uint32_t i, std::uint32_t j,
+                                    std::uint32_t d, const ScheduleConfig& cfg) {
+  check(cfg, i, d);
+  if (j == 0 || j > subphases_in_phase(i, d, cfg)) {
+    throw std::out_of_range("global_subphase_index: bad subphase");
+  }
+  std::uint32_t base = 0;
+  for (std::uint32_t p = 1; p < i; ++p) base += subphases_in_phase(p, d, cfg);
+  return base + (j - 1);
+}
+
+double factor_a(double delta, std::uint32_t k, std::uint32_t d) {
+  if (k == 0 || d < 3) throw std::invalid_argument("factor_a: bad k or d");
+  return delta / (10.0 * k * std::log2(static_cast<double>(d - 1)));
+}
+
+double factor_b(double gamma, std::uint32_t d) {
+  if (d == 0) throw std::invalid_argument("factor_b: bad d");
+  return 4.0 / std::log2(1.0 + gamma / static_cast<double>(d));
+}
+
+}  // namespace byz::proto

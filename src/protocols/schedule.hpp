@@ -1,0 +1,57 @@
+// Phase/subphase schedule (§3.1 + Algorithm pseudocode lines 4-9).
+//
+// The paper states the subphase count α_i in two non-identical forms (the
+// §3.1/Appendix-B formula that the proof of Lemma 26 actually uses, and the
+// guarded form in the pseudocode). Both are implemented; kAppendix is the
+// default because Lemma 26's derivation
+//   (1 / (d (d-1)^{i-2}))^{α_i} <= ε / 2^{i+1}
+// requires it. See DESIGN.md §3.5.
+#pragma once
+
+#include <cstdint>
+
+namespace byz::proto {
+
+enum class SchedulePolicy : std::uint8_t {
+  kAppendix,    ///< α_i = ceil((log(1/ε)+i+1-log d)/((i-2) log(d-1))), i >= 3
+  kPseudocode,  ///< Algorithm 1 lines 4-8 as printed
+};
+
+struct ScheduleConfig {
+  double epsilon = 0.1;          ///< the paper's error parameter ε ∈ (0,1)
+  SchedulePolicy policy = SchedulePolicy::kAppendix;
+  bool subphases_times_i = true; ///< pseudocode loops j=1..i·α_i; prose says α_i
+  std::uint32_t max_alpha = 64;  ///< guard against degenerate parameters
+};
+
+/// α_i for phase i (>= 1); both policies fall back to the pseudocode's
+/// else-branch 1 + (i+1)/log(1/ε) when the primary formula is undefined
+/// (i ∈ {1,2} divides by zero in the appendix form).
+[[nodiscard]] std::uint32_t alpha_i(std::uint32_t i, std::uint32_t d,
+                                    const ScheduleConfig& cfg);
+
+/// Number of subphases executed in phase i (α_i or i·α_i).
+[[nodiscard]] std::uint32_t subphases_in_phase(std::uint32_t i, std::uint32_t d,
+                                               const ScheduleConfig& cfg);
+
+/// Flooding rounds in phase i = subphases_in_phase(i) * i.
+[[nodiscard]] std::uint64_t rounds_in_phase(std::uint32_t i, std::uint32_t d,
+                                            const ScheduleConfig& cfg);
+
+/// Cumulative flooding rounds over phases 1..i.
+[[nodiscard]] std::uint64_t rounds_through_phase(std::uint32_t i, std::uint32_t d,
+                                                 const ScheduleConfig& cfg);
+
+/// Global (cross-phase) index of subphase j (1-based) of phase i (1-based);
+/// indexes the coin table in protocols/color.hpp.
+[[nodiscard]] std::uint32_t global_subphase_index(std::uint32_t i, std::uint32_t j,
+                                                  std::uint32_t d,
+                                                  const ScheduleConfig& cfg);
+
+/// The analysis' approximation-factor endpoints (§3.4.2): a = δ/(10k log(d-1))
+/// and b = 4/log(1+γ/d); the theorem guarantees estimates in
+/// [a log n, b log n]. Exposed for E11.
+[[nodiscard]] double factor_a(double delta, std::uint32_t k, std::uint32_t d);
+[[nodiscard]] double factor_b(double gamma, std::uint32_t d);
+
+}  // namespace byz::proto

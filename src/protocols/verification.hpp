@@ -1,0 +1,88 @@
+// Color verification (Algorithm 2 line 15, Lemmas 15/16).
+//
+// When honest v receives color c from H-neighbor w at subphase step t, it
+// interrogates the nodes of B_H(w, min(t, k-1)) over direct L-edges: did c
+// really travel a legitimate path to w? Honest witnesses answer truthfully
+// from their forwarding records; Byzantine witnesses corroborate anything.
+// The provable effect (Lemma 16) is captured by this acceptance rule:
+//
+//   accept(w, c, t) =
+//        t == 1                                  (generation claims are
+//                                                 unauditable coin flips)
+//     or c == legit_fresh(w, t)                  (protocol-conformant
+//                                                 forward; honest senders
+//                                                 always satisfy this)
+//     or a Byzantine chain of length min(t, k) ending at w exists
+//                                                 (the only way to fake a
+//                                                  provenance trail)
+//
+// Observation 6 says chains of length >= k do not exist w.h.p., so
+// mid-subphase fabrication beyond step k-1 is always caught — Lemma 16.
+//
+// Two chain models are provided (DESIGN.md §3.2/§3.5): kStrict counts
+// simple Byzantine paths in H (the paper's literal object); kRewired is
+// adversary-friendlier and only requires min(t,k) Byzantine nodes inside
+// the checked ball (covering fake Byzantine-Byzantine H-edge claims that
+// survive the crash rule). Both vanish w.h.p. under random placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/color.hpp"
+#include "sim/instrumentation.hpp"
+
+namespace byz::proto {
+
+enum class ChainModel : std::uint8_t { kStrict, kRewired };
+
+struct VerificationConfig {
+  bool enabled = true;  ///< ablation switch (off = Algorithm 1 behavior)
+  ChainModel chain_model = ChainModel::kStrict;
+};
+
+class Verifier {
+ public:
+  Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
+           VerificationConfig config);
+
+  /// The acceptance decision for a token (see file comment). `legit_fresh`
+  /// is the value an honest node in the sender's position would forward at
+  /// this step (0 = nothing). Updates verification-traffic and injection
+  /// counters.
+  [[nodiscard]] bool accept(graph::NodeId sender, Color c, std::uint32_t step,
+                            Color legit_fresh, bool sender_is_byz,
+                            sim::Instrumentation& instr) const;
+
+  /// |B_H(sender, min(step, k-1))| — the number of witnesses interrogated
+  /// (traffic accounting).
+  [[nodiscard]] std::uint64_t check_ball_size(graph::NodeId sender,
+                                              std::uint32_t step) const;
+
+  /// Longest Byzantine chain usable from `endpoint` under the configured
+  /// model (capped at k+1).
+  [[nodiscard]] std::uint32_t usable_chain(graph::NodeId endpoint) const;
+
+  [[nodiscard]] const VerificationConfig& config() const { return config_; }
+
+ private:
+  const graph::Overlay* overlay_;
+  const std::vector<bool>* byz_;
+  VerificationConfig config_;
+  std::uint32_t k_;
+  // ball_counts_[v * k_ + (r-1)] = |B_H(v, r)| for r in 1..k (cumulative).
+  std::vector<std::uint32_t> ball_counts_;
+  // usable chain length per node (0 for honest nodes).
+  std::vector<std::uint8_t> chain_len_;
+};
+
+/// Longest simple Byzantine-only path in H ending at `endpoint`, capped.
+/// Exposed for tests and E9.
+[[nodiscard]] std::uint32_t byz_path_ending_at(const graph::Graph& h_simple,
+                                               const std::vector<bool>& byz_mask,
+                                               graph::NodeId endpoint,
+                                               std::uint32_t cap);
+
+}  // namespace byz::proto

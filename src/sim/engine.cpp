@@ -1,0 +1,202 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/color.hpp"
+#include "protocols/neighborhood.hpp"
+#include "protocols/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace byz::sim {
+
+using graph::NodeId;
+using proto::Color;
+
+Engine::Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
+               adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
+               std::uint64_t color_seed)
+    : overlay_(overlay),
+      byz_(byz_mask),
+      strategy_(strategy),
+      cfg_(cfg),
+      color_seed_(color_seed),
+      world_(World::make(overlay, byz_mask, color_seed)),
+      verifier_(overlay, byz_mask, cfg.verification) {
+  if (byz_mask.size() != overlay.num_nodes()) {
+    throw std::invalid_argument("Engine: mask size mismatch");
+  }
+  nodes_.resize(overlay.num_nodes());
+  inbox_.resize(overlay.num_nodes());
+}
+
+proto::RunResult Engine::run() {
+  const NodeId n = overlay_.num_nodes();
+  const std::uint32_t d = overlay_.params().d;
+  result_ = proto::RunResult{};
+  result_.status.assign(n, proto::NodeStatus::kUndecided);
+  result_.estimate.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (byz_[v]) result_.status[v] = proto::NodeStatus::kByzantine;
+  }
+
+  // --- Setup (Algorithm 2 lines 1-2): claims, conflicts, crashes. ---
+  proto::ClaimSet claims(overlay_);
+  strategy_.setup_lies(world_, claims);
+  if (cfg_.crash_rule) {
+    // Reference path: run the full pairwise conflict detection per node
+    // (the fast path uses the byz-pair shortcut; agreement is a test).
+    for (NodeId u = 0; u < n; ++u) {
+      const auto len = claims.claimed(u).size();
+      for (std::uint32_t e = 0; e < overlay_.g().degree(u); ++e) {
+        result_.instr.count_setup_list(len);
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (byz_[v]) continue;
+      if (proto::detects_conflict(claims, v)) {
+        nodes_[v].crashed = true;
+        result_.status[v] = proto::NodeStatus::kCrashed;
+        ++result_.instr.crashes;
+      }
+    }
+  }
+
+  const std::uint32_t max_phase = proto::resolve_max_phase(overlay_, cfg_);
+  std::uint64_t active = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!byz_[v] && !nodes_[v].crashed) ++active;
+  }
+
+  std::uint32_t phase = 0;
+  while (phase < max_phase && active > 0) {
+    ++phase;
+    for (auto& m : nodes_) m.fired_this_phase = false;
+    const std::uint32_t subphases =
+        proto::subphases_in_phase(phase, d, cfg_.schedule);
+    for (std::uint32_t j = 1; j <= subphases; ++j) {
+      run_subphase(phase, j,
+                   proto::global_subphase_index(phase, j, d, cfg_.schedule));
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      auto& m = nodes_[v];
+      if (byz_[v] || m.crashed || m.decided) continue;
+      if (!m.fired_this_phase) {
+        m.decided = true;
+        m.estimate = phase;
+        result_.status[v] = proto::NodeStatus::kDecided;
+        result_.estimate[v] = phase;
+        --active;
+      }
+    }
+  }
+  result_.phases_executed = phase;
+  result_.flood_rounds = result_.instr.flood_rounds;
+  return result_;
+}
+
+void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
+                          std::uint32_t s) {
+  const NodeId n = overlay_.num_nodes();
+  const auto& h = overlay_.h_simple();
+  const bool byz_gen = strategy_.generates_honestly();
+  const bool byz_fwd = strategy_.forwards_floods();
+  const double threshold = proto::continue_threshold(phase, overlay_.params().d);
+
+  // Draw colors: honest active nodes generate; Byzantine machines track the
+  // counterfactual honest draw when the strategy mimics the protocol.
+  for (NodeId v = 0; v < n; ++v) {
+    auto& m = nodes_[v];
+    Color own = 0;
+    const bool generates =
+        byz_[v] ? byz_gen : (!m.crashed && !m.decided);
+    if (generates) own = proto::color_at(color_seed_, v, s);
+    m.begin_subphase(own);
+  }
+
+  std::vector<proto::Injection> injections;
+  strategy_.plan_subphase(world_, {phase, j, s}, injections);
+
+  std::vector<Color> recv(n, 0);
+  for (std::uint32_t t = 1; t <= phase; ++t) {
+    std::uint64_t sent_this_round = 0;
+
+    // 1. Sends, based on state at the start of the step (forward-once).
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& m = nodes_[u];
+      if (m.crashed) continue;
+      if (byz_[u] && !byz_fwd) continue;
+      const bool sends = (t == 1) ? (m.own > 0) : (m.fresh_step == t - 1);
+      if (!sends) continue;
+      const auto nbrs = h.neighbors(u);
+      result_.instr.count_token(nbrs.size());
+      result_.instr.max_node_round_sends = std::max<std::uint64_t>(
+          result_.instr.max_node_round_sends, nbrs.size());
+      sent_this_round += nbrs.size();
+      for (const NodeId v : nbrs) inbox_[v].push_back({u, m.known});
+    }
+    for (const auto& inj : injections) {
+      if (inj.step != t || nodes_[inj.from].crashed) continue;
+      const auto nbrs = h.neighbors(inj.from);
+      result_.instr.count_token(nbrs.size());
+      result_.instr.max_node_round_sends = std::max<std::uint64_t>(
+          result_.instr.max_node_round_sends, nbrs.size());
+      sent_this_round += nbrs.size();
+      for (const NodeId v : nbrs) inbox_[v].push_back({inj.from, inj.value});
+    }
+
+    // 2. Delivery: each node drains its inbox; honest nodes verify every
+    // token (sender state is still pre-close, so legit_fresh is exact).
+    for (NodeId v = 0; v < n; ++v) {
+      if (inbox_[v].empty()) continue;
+      auto& m = nodes_[v];
+      if (m.crashed) {
+        inbox_[v].clear();
+        continue;
+      }
+      for (const Token& tok : inbox_[v]) {
+        if (!byz_[v]) {
+          const auto& sm = nodes_[tok.from];
+          const Color legit =
+              (t == 1) ? sm.own : ((sm.fresh_step == t - 1) ? sm.known : 0);
+          if (!verifier_.accept(tok.from, tok.color, t, legit, byz_[tok.from],
+                                result_.instr)) {
+            continue;
+          }
+        }
+        recv[v] = std::max(recv[v], tok.color);
+      }
+      inbox_[v].clear();
+    }
+
+    // 3. Close the step.
+    for (NodeId v = 0; v < n; ++v) {
+      if (recv[v] == 0) continue;
+      auto& m = nodes_[v];
+      if (t < phase) {
+        m.best_before = std::max(m.best_before, recv[v]);
+      } else {
+        m.last_step = recv[v];
+      }
+      if (recv[v] > m.known) {
+        m.known = recv[v];
+        m.fresh_step = t;
+      }
+      recv[v] = 0;
+    }
+    round_messages_.push_back(sent_this_round);
+  }
+  result_.instr.flood_rounds += phase;
+
+  // Line 18: evaluate the continuation predicate.
+  for (NodeId v = 0; v < n; ++v) {
+    auto& m = nodes_[v];
+    if (byz_[v] || m.crashed || m.decided || m.fired_this_phase) continue;
+    if (m.last_step > m.best_before &&
+        static_cast<double>(m.last_step) > threshold) {
+      m.fired_this_phase = true;
+    }
+  }
+}
+
+}  // namespace byz::sim

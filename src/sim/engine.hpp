@@ -1,0 +1,85 @@
+// Message-level reference implementation of the counting protocols.
+//
+// Unlike the array fast path (protocols/fastpath.*), this engine represents
+// every token as a message object moving between per-node inboxes, and each
+// honest node runs its own local state machine over its inbox — the way one
+// would implement the protocol on a real network. Byzantine sends are
+// composed from the Strategy exactly as in the fast path, and the Verifier,
+// ClaimSet/crash rule, coin table, and schedule are shared, so the two
+// tiers must produce IDENTICAL per-node decisions on the same seed; the
+// equivalence suite asserts that, plus equality of the message accounting.
+//
+// Intended for n up to a few thousand (tests, E7 message accounting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/estimate.hpp"
+#include "protocols/fastpath.hpp"
+#include "protocols/verification.hpp"
+
+namespace byz::sim {
+
+class Engine {
+ public:
+  Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
+         adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
+         std::uint64_t color_seed);
+
+  /// Executes setup + phases until all honest nodes decided/crashed or the
+  /// phase cap is reached.
+  [[nodiscard]] proto::RunResult run();
+
+  /// Per-round message volume trace (index = flooding round), for E7.
+  [[nodiscard]] const std::vector<std::uint64_t>& round_messages() const {
+    return round_messages_;
+  }
+
+ private:
+  struct Token {
+    graph::NodeId from;
+    proto::Color color;
+  };
+
+  /// Local state of one honest node's protocol instance.
+  struct NodeMachine {
+    bool crashed = false;
+    bool decided = false;
+    std::uint32_t estimate = 0;
+    // Per-subphase registers.
+    proto::Color own = 0;
+    proto::Color known = 0;
+    std::uint32_t fresh_step = 0;
+    proto::Color best_before = 0;
+    proto::Color last_step = 0;
+    bool fired_this_phase = false;
+
+    void begin_subphase(proto::Color own_color) noexcept {
+      own = own_color;
+      known = own_color;
+      fresh_step = 0;
+      best_before = 0;
+      last_step = 0;
+    }
+  };
+
+  void run_subphase(std::uint32_t phase, std::uint32_t j, std::uint32_t s);
+
+  const graph::Overlay& overlay_;
+  const std::vector<bool>& byz_;
+  adv::Strategy& strategy_;
+  proto::ProtocolConfig cfg_;
+  std::uint64_t color_seed_;
+  World world_;
+  proto::Verifier verifier_;
+
+  std::vector<NodeMachine> nodes_;
+  std::vector<std::vector<Token>> inbox_;
+  proto::RunResult result_;
+  std::vector<std::uint64_t> round_messages_;
+};
+
+}  // namespace byz::sim

@@ -1,0 +1,22 @@
+#include "sim/instrumentation.hpp"
+
+#include <algorithm>
+
+namespace byz::sim {
+
+void Instrumentation::merge(const Instrumentation& other) noexcept {
+  setup_messages += other.setup_messages;
+  setup_bytes += other.setup_bytes;
+  token_messages += other.token_messages;
+  token_bytes += other.token_bytes;
+  verify_messages += other.verify_messages;
+  verify_bytes += other.verify_bytes;
+  flood_rounds += other.flood_rounds;
+  injections_attempted += other.injections_attempted;
+  injections_accepted += other.injections_accepted;
+  injections_caught += other.injections_caught;
+  max_node_round_sends = std::max(max_node_round_sends, other.max_node_round_sends);
+  crashes += other.crashes;
+}
+
+}  // namespace byz::sim

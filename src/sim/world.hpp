@@ -1,0 +1,51 @@
+// The full-information view handed to adversary strategies (§2.1: Byzantine
+// nodes know the entire state of every node, including random choices made
+// in the current AND future rounds). Colors are a deterministic function of
+// (seed, node, global subphase), so "seeing the future" is random access
+// into the same coin table the honest nodes will draw from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/color.hpp"
+
+namespace byz::sim {
+
+struct World {
+  const graph::Overlay* overlay = nullptr;
+  const std::vector<bool>* byz_mask = nullptr;
+  std::vector<graph::NodeId> byz_nodes;  ///< ids of Byzantine nodes
+  std::uint64_t color_seed = 0;
+  std::uint64_t true_n = 0;  ///< the adversary of course knows n
+
+  /// The color node v will draw in global subphase s (honest draw).
+  [[nodiscard]] proto::Color color(graph::NodeId v, std::uint32_t s) const noexcept {
+    return proto::color_at(color_seed, v, s);
+  }
+
+  [[nodiscard]] bool is_byz(graph::NodeId v) const { return (*byz_mask)[v]; }
+
+  /// Builds the view (collects byz ids).
+  [[nodiscard]] static World make(const graph::Overlay& overlay,
+                                  const std::vector<bool>& byz_mask,
+                                  std::uint64_t color_seed);
+};
+
+inline World World::make(const graph::Overlay& overlay,
+                         const std::vector<bool>& byz_mask,
+                         std::uint64_t color_seed) {
+  World w;
+  w.overlay = &overlay;
+  w.byz_mask = &byz_mask;
+  w.color_seed = color_seed;
+  w.true_n = overlay.num_nodes();
+  for (graph::NodeId v = 0; v < overlay.num_nodes(); ++v) {
+    if (byz_mask[v]) w.byz_nodes.push_back(v);
+  }
+  return w;
+}
+
+}  // namespace byz::sim

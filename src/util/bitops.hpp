@@ -1,0 +1,31 @@
+// Small integer helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace byz::util {
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr std::uint32_t floor_log2(std::uint64_t x) noexcept {
+  return x == 0 ? 0 : 63 - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+/// True iff x is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Integer ceiling division for nonnegative values.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return b == 0 ? 0 : (a + b - 1) / b;
+}
+
+}  // namespace byz::util

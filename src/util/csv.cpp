@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace byz::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  emit(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (!closed_) out_.close();
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  emit(cells);
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  out_.close();
+  closed_ = true;
+  if (out_.fail()) throw std::runtime_error("CsvWriter: write failure on close");
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    const bool quote = cells[c].find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      out_ << '"';
+      for (const char ch : cells[c]) {
+        if (ch == '"') out_ << '"';
+        out_ << ch;
+      }
+      out_ << '"';
+    } else {
+      out_ << cells[c];
+    }
+  }
+  out_ << '\n';
+}
+
+}  // namespace byz::util

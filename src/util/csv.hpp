@@ -1,0 +1,33 @@
+// CSV writer for experiment result capture (plotting pipelines read these).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace byz::util {
+
+/// Streams rows to a CSV file with RFC-4180 quoting. The file is flushed
+/// and closed by the destructor (RAII); write failures throw on close().
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Explicit close with error check; destructor swallows errors.
+  void close();
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace byz::util

@@ -1,0 +1,50 @@
+// Leveled logger with a global threshold. The protocol trace example raises
+// the level to `kTrace` to narrate phases/subphases; benches keep `kInfo`.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace byz::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define BYZ_LOG(level)                                     \
+  if (static_cast<int>(level) < static_cast<int>(::byz::util::log_level())) { \
+  } else                                                   \
+    ::byz::util::detail::LogStream(level)
+
+#define BYZ_TRACE BYZ_LOG(::byz::util::LogLevel::kTrace)
+#define BYZ_DEBUG BYZ_LOG(::byz::util::LogLevel::kDebug)
+#define BYZ_INFO BYZ_LOG(::byz::util::LogLevel::kInfo)
+#define BYZ_WARN BYZ_LOG(::byz::util::LogLevel::kWarn)
+#define BYZ_ERROR BYZ_LOG(::byz::util::LogLevel::kError)
+
+}  // namespace byz::util

@@ -1,0 +1,96 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+namespace {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+TEST(Components, SingleComponent) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges, true);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count(), 1u);
+  EXPECT_EQ(comps.sizes[0], 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, TwoComponentsAndIsolated) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}, {3, 4}};
+  const Graph g = Graph::from_edges(6, edges, true);
+  const auto comps = connected_components(g);
+  EXPECT_EQ(comps.count(), 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(comps.sizes[comps.largest()], 3u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphNotConnected) {
+  const Graph g = Graph::from_edges(0, {}, true);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, LargestThrowsOnEmpty) {
+  const Graph g = Graph::from_edges(0, {}, true);
+  const auto comps = connected_components(g);
+  EXPECT_THROW((void)comps.largest(), std::logic_error);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const Graph g = Graph::from_edges(4, edges, true);
+  std::vector<bool> keep{true, true, true, false};
+  std::vector<NodeId> old_to_new;
+  std::vector<NodeId> new_to_old;
+  const Graph sub = induced_subgraph(g, keep, &old_to_new, &new_to_old);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);  // {0,1},{1,2}; edges to 3 dropped
+  EXPECT_EQ(old_to_new[3], kInvalidNode);
+  EXPECT_EQ(new_to_old.size(), 3u);
+  EXPECT_TRUE(sub.has_edge(old_to_new[0], old_to_new[1]));
+}
+
+TEST(InducedSubgraph, MaskSizeMismatchThrows) {
+  const Graph g = Graph::from_edges(2, std::vector<Edge>{{0, 1}}, true);
+  EXPECT_THROW((void)induced_subgraph(g, std::vector<bool>(3, true)),
+               std::invalid_argument);
+}
+
+TEST(LargestComponentMask, PicksBiggerSide) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}, {3, 4}};
+  const Graph g = Graph::from_edges(5, edges, true);
+  const auto mask = largest_component_mask(g, std::vector<bool>(5, true));
+  EXPECT_FALSE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_TRUE(mask[3]);
+  EXPECT_TRUE(mask[4]);
+}
+
+TEST(LargestComponentMask, RespectsKeepFilter) {
+  // Removing the bridge node splits the path 0-1-2-3-4.
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  const Graph g = Graph::from_edges(5, edges, true);
+  std::vector<bool> keep(5, true);
+  keep[2] = false;
+  const auto mask = largest_component_mask(g, keep);
+  // Two components of size 2; the first found ({0,1}) wins ties.
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 2);
+  EXPECT_FALSE(mask[2]);
+}
+
+TEST(LargestComponentMask, RandomRegularRemainsWholeAfterFewRemovals) {
+  util::Xoshiro256 rng(51);
+  const Graph h = simplify(build_hamiltonian_graph(1024, 8, rng));
+  std::vector<bool> keep(1024, true);
+  for (NodeId v = 0; v < 16; ++v) keep[v * 64] = false;  // remove 16 nodes
+  const auto mask = largest_component_mask(h, keep);
+  // Lemma-14 flavor: the giant component retains essentially everything.
+  EXPECT_GE(std::count(mask.begin(), mask.end(), true), 1000);
+}
+
+}  // namespace
+}  // namespace byz::graph

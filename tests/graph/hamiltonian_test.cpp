@@ -1,0 +1,96 @@
+#include "graph/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+namespace {
+
+TEST(Hamiltonian, ExactlyDRegular) {
+  util::Xoshiro256 rng(1);
+  for (const std::uint32_t d : {4u, 6u, 8u, 12u}) {
+    const Graph h = build_hamiltonian_graph(256, d, rng);
+    EXPECT_TRUE(h.is_regular(d)) << "d=" << d;
+    EXPECT_EQ(h.num_edges(), 256u * d / 2);
+  }
+}
+
+TEST(Hamiltonian, RejectsBadParameters) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW((void)build_hamiltonian_graph(2, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)build_hamiltonian_graph(16, 5, rng), std::invalid_argument);
+  EXPECT_THROW((void)build_hamiltonian_graph(16, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)build_hamiltonian_graph(16, 0, rng), std::invalid_argument);
+}
+
+TEST(Hamiltonian, ConnectedAlways) {
+  // A single Hamiltonian cycle already connects the graph, so every sample
+  // is connected with certainty — not just w.h.p.
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph h = build_hamiltonian_graph(128, 4, rng);
+    EXPECT_TRUE(is_connected(h));
+  }
+}
+
+TEST(Hamiltonian, DeterministicGivenSeed) {
+  util::Xoshiro256 a(99);
+  util::Xoshiro256 b(99);
+  const Graph g1 = build_hamiltonian_graph(64, 6, a);
+  const Graph g2 = build_hamiltonian_graph(64, 6, b);
+  for (NodeId v = 0; v < 64; ++v) {
+    const auto n1 = g1.neighbors(v);
+    const auto n2 = g2.neighbors(v);
+    ASSERT_EQ(n1.size(), n2.size());
+    for (std::size_t i = 0; i < n1.size(); ++i) EXPECT_EQ(n1[i], n2[i]);
+  }
+}
+
+TEST(Hamiltonian, DifferentSeedsDiffer) {
+  util::Xoshiro256 a(1);
+  util::Xoshiro256 b(2);
+  const Graph g1 = build_hamiltonian_graph(64, 6, a);
+  const Graph g2 = build_hamiltonian_graph(64, 6, b);
+  bool any_diff = false;
+  for (NodeId v = 0; v < 64 && !any_diff; ++v) {
+    const auto n1 = g1.neighbors(v);
+    const auto n2 = g2.neighbors(v);
+    if (!std::equal(n1.begin(), n1.end(), n2.begin(), n2.end())) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Hamiltonian, NoSelfLoops) {
+  util::Xoshiro256 rng(3);
+  const Graph h = build_hamiltonian_graph(64, 8, rng);
+  for (NodeId v = 0; v < 64; ++v) {
+    for (const NodeId w : h.neighbors(v)) EXPECT_NE(w, v);
+  }
+}
+
+TEST(Hamiltonian, SimplifyDropsParallels) {
+  util::Xoshiro256 rng(4);
+  // Tiny n + large d forces parallel edges with overwhelming probability.
+  const Graph h = build_hamiltonian_graph(8, 8, rng);
+  const Graph s = simplify(h);
+  EXPECT_LE(s.num_edges(), h.num_edges());
+  for (NodeId v = 0; v < s.num_nodes(); ++v) {
+    const auto nbrs = s.neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1], nbrs[i]);  // strictly increasing = no parallels
+    }
+  }
+}
+
+TEST(Hamiltonian, SimplifyPreservesReachability) {
+  util::Xoshiro256 rng(5);
+  const Graph h = build_hamiltonian_graph(100, 6, rng);
+  EXPECT_TRUE(is_connected(simplify(h)));
+}
+
+}  // namespace
+}  // namespace byz::graph

@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+namespace {
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+TEST(GraphIo, EdgeListRoundTripSimple) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = Graph::from_edges(5, edges, true);  // node 4 isolated
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_TRUE(graphs_equal(g, back));
+  EXPECT_EQ(back.num_nodes(), 5u);  // isolated node survives via header
+}
+
+TEST(GraphIo, EdgeListRoundTripMultigraph) {
+  util::Xoshiro256 rng(3);
+  const Graph g = build_hamiltonian_graph(64, 8, rng);  // has parallel edges
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_TRUE(graphs_equal(g, back));
+  EXPECT_TRUE(back.is_regular(8));
+}
+
+TEST(GraphIo, SelfLoopRoundTrip) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges, false);
+  std::stringstream buffer;
+  write_edge_list(buffer, g);
+  const Graph back = read_edge_list(buffer);
+  EXPECT_TRUE(graphs_equal(g, back));
+  EXPECT_EQ(back.degree(0), 3u);  // loop counts twice + edge to 1
+}
+
+TEST(GraphIo, MissingHeaderThrows) {
+  std::stringstream buffer("0 1\n1 2\n");
+  EXPECT_THROW((void)read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, MalformedLineThrows) {
+  std::stringstream buffer("# nodes 3\n0 x\n");
+  EXPECT_THROW((void)read_edge_list(buffer), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  util::Xoshiro256 rng(7);
+  const Graph g = simplify(build_hamiltonian_graph(128, 6, rng));
+  const std::string path = ::testing::TempDir() + "/byz_io_test.edges";
+  save_edge_list(path, g);
+  const Graph back = load_edge_list(path);
+  EXPECT_TRUE(graphs_equal(g, back));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list("/nonexistent/nowhere.edges"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, DotOutputShape) {
+  const std::vector<std::pair<NodeId, NodeId>> edges{{0, 1}, {1, 2}};
+  const Graph g = Graph::from_edges(3, edges, true);
+  std::vector<bool> highlight(3, false);
+  highlight[1] = true;
+  std::stringstream buffer;
+  write_dot(buffer, g, highlight);
+  const std::string dot = buffer.str();
+  EXPECT_NE(dot.find("graph byzcount {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1;"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2;"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=red"), std::string::npos);
+  EXPECT_EQ(dot.find("n2 -- n1;"), std::string::npos);  // each edge once
+}
+
+}  // namespace
+}  // namespace byz::graph

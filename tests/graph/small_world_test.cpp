@@ -1,0 +1,143 @@
+#include "graph/small_world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/bfs.hpp"
+
+namespace byz::graph {
+namespace {
+
+Overlay sample(NodeId n = 256, std::uint32_t d = 8, std::uint64_t seed = 11) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+TEST(SmallWorld, PaperK) {
+  EXPECT_EQ(paper_k(6), 2u);
+  EXPECT_EQ(paper_k(8), 3u);   // ceil(8/3)
+  EXPECT_EQ(paper_k(9), 3u);
+  EXPECT_EQ(paper_k(10), 4u);
+  EXPECT_EQ(paper_k(12), 4u);
+}
+
+TEST(SmallWorld, ResolvesDefaultK) {
+  const Overlay o = sample(128, 8);
+  EXPECT_EQ(o.k(), 3u);
+}
+
+TEST(SmallWorld, ExplicitKRespected) {
+  OverlayParams p;
+  p.n = 128;
+  p.d = 8;
+  p.k = 2;
+  p.seed = 3;
+  const Overlay o = Overlay::build(p);
+  EXPECT_EQ(o.k(), 2u);
+}
+
+TEST(SmallWorld, GMatchesBallDefinition) {
+  // (u,v) ∈ E(G) iff dist_H(u,v) <= k — checked against ground-truth BFS.
+  const Overlay o = sample(128, 6, 5);
+  const std::uint32_t k = o.k();
+  for (NodeId v = 0; v < 32; ++v) {  // spot-check a prefix of nodes
+    const auto dist = bfs_distances(o.h_simple(), v);
+    for (NodeId w = 0; w < o.num_nodes(); ++w) {
+      if (w == v) continue;
+      const bool in_g = o.g().has_edge(v, w);
+      const bool within = dist[w] <= k;
+      EXPECT_EQ(in_g, within) << "v=" << v << " w=" << w;
+    }
+  }
+}
+
+TEST(SmallWorld, DistanceAnnotationsExact) {
+  const Overlay o = sample(128, 6, 7);
+  for (NodeId v = 0; v < 16; ++v) {
+    const auto dist = bfs_distances(o.h_simple(), v);
+    const auto nbrs = o.g().neighbors(v);
+    const auto dists = o.g_dists(v);
+    ASSERT_EQ(nbrs.size(), dists.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(dists[i], dist[nbrs[i]]);
+    }
+  }
+}
+
+TEST(SmallWorld, HDistLookup) {
+  const Overlay o = sample(128, 6, 9);
+  EXPECT_EQ(o.h_dist(5, 5), 0u);
+  const auto nbrs = o.g().neighbors(5);
+  const auto dists = o.g_dists(5);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    EXPECT_EQ(o.h_dist(5, nbrs[i]), dists[i]);
+  }
+}
+
+TEST(SmallWorld, HDistSymmetric) {
+  const Overlay o = sample(64, 6, 13);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    for (const NodeId w : o.g().neighbors(v)) {
+      EXPECT_EQ(o.h_dist(v, w), o.h_dist(w, v));
+    }
+  }
+}
+
+TEST(SmallWorld, NotInBallSentinel) {
+  const Overlay o = sample(512, 4, 17);  // k=2, sparse: far pairs exist
+  bool found_far = false;
+  const auto dist = bfs_distances(o.h_simple(), 0);
+  for (NodeId w = 0; w < o.num_nodes(); ++w) {
+    if (dist[w] > o.k()) {
+      EXPECT_EQ(o.h_dist(0, w), kNotInBall);
+      found_far = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_far);
+}
+
+TEST(SmallWorld, HNeighborsMatchSimpleH) {
+  const Overlay o = sample(128, 8, 19);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    const auto a = o.h_neighbors(v);
+    const auto b = o.h_simple().neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SmallWorld, GDegreeBoundObservation2) {
+  // |B_G(v,1)| < (d-1)^(k+1) + 1 (Observation 2 with τ=1).
+  const Overlay o = sample(1024, 8, 23);
+  const double bound = std::pow(7.0, 4.0);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_LT(o.g().degree(v), bound);
+  }
+}
+
+TEST(SmallWorld, DeterministicGivenSeed) {
+  const Overlay a = sample(64, 6, 31);
+  const Overlay b = sample(64, 6, 31);
+  EXPECT_EQ(a.g().num_edges(), b.g().num_edges());
+  for (NodeId v = 0; v < 64; ++v) {
+    const auto na = a.g().neighbors(v);
+    const auto nb = b.g().neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+  }
+}
+
+TEST(SmallWorld, RejectsZeroK) {
+  OverlayParams p;
+  p.n = 16;
+  p.d = 4;
+  p.k = 0;  // resolves to paper k = 2, fine
+  EXPECT_NO_THROW((void)Overlay::build(p));
+}
+
+}  // namespace
+}  // namespace byz::graph

@@ -1,0 +1,116 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace byz::graph {
+namespace {
+
+Graph cycle_graph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < n; ++v) edges.emplace_back(v, (v + 1) % n);
+  return Graph::from_edges(n, edges, true);
+}
+
+Graph complete_graph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges, true);
+}
+
+TEST(Spectral, CycleLambda2Known) {
+  // C_n adjacency eigenvalues: 2 cos(2πj/n); λ2 = 2 cos(2π/n).
+  const NodeId n = 64;
+  const auto r = second_eigenvalue(cycle_graph(n), 8000, 1e-12, 1);
+  EXPECT_NEAR(r.lambda2, 2.0 * std::cos(2.0 * M_PI / n), 1e-3);
+}
+
+TEST(Spectral, CompleteGraphLambda2Known) {
+  // K_n: λ2 = -1, so mu2 = -1/(n-1); the shifted power method must find it.
+  const NodeId n = 20;
+  const auto r = second_eigenvalue(complete_graph(n), 4000, 1e-13, 2);
+  EXPECT_NEAR(r.mu2, -1.0 / (n - 1), 1e-3);
+}
+
+TEST(Spectral, RandomRegularNearRamanujan) {
+  // Friedman/Lemma 19: λ2 ≈ 2 sqrt(d-1) + o(1) for H(n,d).
+  util::Xoshiro256 rng(5);
+  const Graph h = build_hamiltonian_graph(4096, 8, rng);
+  const auto r = second_eigenvalue(h, 2000, 1e-10, 3);
+  const double ramanujan = 2.0 * std::sqrt(7.0);
+  EXPECT_GT(r.lambda2, 0.8 * ramanujan);
+  EXPECT_LT(r.lambda2, 1.15 * ramanujan);
+}
+
+TEST(Spectral, TooSmallGraphThrows) {
+  EXPECT_THROW((void)second_eigenvalue(complete_graph(1), 10, 1e-6, 1),
+               std::invalid_argument);
+}
+
+TEST(Spectral, VectorHasUnitNormAndSize) {
+  const auto r = second_eigenvalue(cycle_graph(32), 2000, 1e-12, 4);
+  ASSERT_EQ(r.vector2.size(), 32u);
+  double norm = 0.0;
+  for (const double x : r.vector2) norm += x * x;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(CheegerBounds, OrderAndSanity) {
+  const auto b = cheeger_bounds(8.0, 2.0 * std::sqrt(7.0));
+  EXPECT_GT(b.lower, 0.0);
+  EXPECT_GT(b.upper, b.lower);
+  EXPECT_NEAR(b.lower, (8.0 - 2.0 * std::sqrt(7.0)) / 2.0, 1e-12);
+}
+
+TEST(CheegerBounds, ClampsNegativeGap) {
+  const auto b = cheeger_bounds(4.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.lower, 0.0);
+  EXPECT_DOUBLE_EQ(b.upper, 0.0);
+}
+
+TEST(SweepCut, FindsTheObviousCut) {
+  // Two K_8 cliques joined by one edge: expansion ≈ 1/8.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(u + 8, v + 8);
+    }
+  }
+  edges.emplace_back(0, 8);
+  const Graph g = Graph::from_edges(16, edges, true);
+  const auto r = second_eigenvalue(g, 4000, 1e-13, 5);
+  const double h = sweep_cut_expansion(g, r.vector2);
+  EXPECT_NEAR(h, 1.0 / 8.0, 0.02);
+}
+
+TEST(SweepCut, UpperBoundsTrueExpansionOnExpander) {
+  util::Xoshiro256 rng(6);
+  const Graph h = build_hamiltonian_graph(512, 8, rng);
+  const auto r = second_eigenvalue(h, 1500, 1e-10, 7);
+  const double sweep = sweep_cut_expansion(h, r.vector2);
+  const auto bounds = cheeger_bounds(8.0, r.lambda2);
+  EXPECT_GE(sweep, bounds.lower - 0.05);  // sweep upper-bounds h >= lower
+  EXPECT_GT(sweep, 0.5);                  // random 8-regular expands well
+}
+
+TEST(CutExpansion, ExplicitMask) {
+  const Graph g = cycle_graph(8);
+  std::vector<bool> in_set(8, false);
+  in_set[0] = in_set[1] = in_set[2] = in_set[3] = true;  // arc of 4
+  EXPECT_DOUBLE_EQ(cut_expansion(g, in_set), 2.0 / 4.0);
+}
+
+TEST(CutExpansion, EmptySetIsZero) {
+  const Graph g = cycle_graph(6);
+  EXPECT_DOUBLE_EQ(cut_expansion(g, std::vector<bool>(6, false)), 0.0);
+}
+
+}  // namespace
+}  // namespace byz::graph

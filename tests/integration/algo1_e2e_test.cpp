@@ -1,0 +1,141 @@
+// End-to-end behavior of Algorithm 1 (the basic counting protocol) in the
+// clean setting of §3.1/§3.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/metrics.hpp"
+#include "protocols/fastpath.hpp"
+
+namespace byz::proto {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n, std::uint32_t d = 8, std::uint64_t seed = 1) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+TEST(Algo1, EveryNodeDecides) {
+  const Overlay o = sample(1024);
+  const auto r = run_basic_counting(o, 42);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<int>(r.status[v]),
+              static_cast<int>(NodeStatus::kDecided));
+    EXPECT_GE(r.estimate[v], 1u);
+  }
+}
+
+TEST(Algo1, EstimateTracksDiameter) {
+  // Termination happens once the flood ball stops growing, i.e. around the
+  // node's eccentricity ≈ diameter(H) ≈ log n / log(d-1).
+  const Overlay o = sample(2048);
+  const auto r = run_basic_counting(o, 7);
+  const auto diam = graph::diameter(o.h_simple());
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_LE(r.estimate[v], diam.value + 2);
+    EXPECT_GE(r.estimate[v], 1u);
+  }
+}
+
+TEST(Algo1, ConstantFactorOfLogN) {
+  // Theorem 1's conclusion in the clean setting: estimates within a
+  // constant factor of log2 n, with the constant ≈ 1/log2(d-1).
+  for (const NodeId n : {512u, 2048u, 8192u}) {
+    const Overlay o = sample(n, 8, n);
+    const auto r = run_basic_counting(o, 11);
+    const auto acc = summarize_accuracy(r, n);
+    EXPECT_GT(acc.frac_in_band, 0.99) << "n=" << n;
+    EXPECT_GT(acc.mean_ratio, 0.15) << "n=" << n;
+    EXPECT_LT(acc.mean_ratio, 1.0) << "n=" << n;
+  }
+}
+
+TEST(Algo1, RatioStableAcrossScale) {
+  // The mean ratio est/log2(n) must not drift with n (constant factor).
+  double r1 = 0;
+  double r2 = 0;
+  {
+    const Overlay o = sample(1024, 8, 3);
+    r1 = summarize_accuracy(run_basic_counting(o, 5), 1024).mean_ratio;
+  }
+  {
+    const Overlay o = sample(16384, 8, 4);
+    r2 = summarize_accuracy(run_basic_counting(o, 5), 16384).mean_ratio;
+  }
+  EXPECT_NEAR(r1, r2, 0.15);
+}
+
+TEST(Algo1, RoundComplexityPolylog) {
+  // Θ(log^3 n) bound: measure that quadrupling n leaves rounds within the
+  // cubic envelope of the log growth.
+  const Overlay small = sample(1024, 8, 5);
+  const Overlay large = sample(16384, 8, 6);
+  const auto rs = run_basic_counting(small, 9);
+  const auto rl = run_basic_counting(large, 9);
+  const double scale = std::pow(std::log2(16384.0) / std::log2(1024.0), 3.0);
+  EXPECT_LE(static_cast<double>(rl.flood_rounds),
+            scale * static_cast<double>(rs.flood_rounds) * 1.5);
+}
+
+TEST(Algo1, EpsilonControlsEarlyDeciders) {
+  // Smaller ε ⇒ more subphases ⇒ fewer wrong early decisions. Check the
+  // monotone trend of early-decider fractions.
+  const Overlay o = sample(4096, 8, 7);
+  ScheduleConfig strict;
+  strict.epsilon = 0.02;
+  ScheduleConfig loose;
+  loose.epsilon = 0.5;
+  const auto rs = run_basic_counting(o, 13, strict);
+  const auto rl = run_basic_counting(o, 13, loose);
+  const auto diam = graph::diameter(o.h_simple());
+  auto early = [&](const RunResult& r) {
+    std::uint64_t count = 0;
+    for (const auto e : r.estimate) {
+      if (e + 2 < diam.value) ++count;
+    }
+    return count;
+  };
+  EXPECT_LE(early(rs), early(rl));
+}
+
+TEST(Algo1, MessagesAreSmallAndBounded) {
+  const Overlay o = sample(1024, 8, 8);
+  const auto r = run_basic_counting(o, 15);
+  // Per-node per-round fan-out never exceeds the H-degree d.
+  EXPECT_LE(r.instr.max_node_round_sends, 8u);
+  // No verification traffic in Algorithm 1.
+  EXPECT_EQ(r.instr.verify_messages, 0u);
+  EXPECT_EQ(r.instr.crashes, 0u);
+}
+
+TEST(Algo1, DeterministicGivenSeed) {
+  const Overlay o = sample(512, 6, 9);
+  const auto a = run_basic_counting(o, 21);
+  const auto b = run_basic_counting(o, 21);
+  EXPECT_EQ(a.estimate, b.estimate);
+  const auto c = run_basic_counting(o, 22);
+  EXPECT_NE(a.estimate, c.estimate);  // different coins, different run
+}
+
+TEST(Algo1, WorksAcrossDegrees) {
+  for (const std::uint32_t d : {4u, 6u, 8u, 12u}) {
+    OverlayParams p;
+    p.n = 1024;
+    p.d = d;
+    p.seed = d;
+    const Overlay o = Overlay::build(p);
+    const auto r = run_basic_counting(o, 17);
+    const auto acc = summarize_accuracy(r, 1024);
+    EXPECT_GT(acc.frac_in_band, 0.95) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace byz::proto

@@ -1,0 +1,109 @@
+// Configuration-matrix sweep: the engine ↔ fast-path equivalence and the
+// basic protocol invariants must hold under EVERY supported configuration,
+// not just the defaults — both α_i schedule variants, both subphase
+// multipliers, both verification chain models, and the ablation switches.
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.hpp"
+#include "graph/categories.hpp"
+#include "protocols/fastpath.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace byz {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+struct ConfigCase {
+  proto::SchedulePolicy policy;
+  bool times_i;
+  proto::ChainModel chain_model;
+  bool verification;
+  bool crash_rule;
+  double epsilon;
+  const char* label;
+};
+
+class ConfigMatrix : public ::testing::TestWithParam<ConfigCase> {
+ protected:
+  static proto::ProtocolConfig make_config(const ConfigCase& c) {
+    proto::ProtocolConfig cfg;
+    cfg.schedule.policy = c.policy;
+    cfg.schedule.subphases_times_i = c.times_i;
+    cfg.schedule.epsilon = c.epsilon;
+    cfg.verification.chain_model = c.chain_model;
+    cfg.verification.enabled = c.verification;
+    cfg.crash_rule = c.crash_rule;
+    if (!c.verification) cfg.max_phase = 12;  // bound unverified stalls
+    return cfg;
+  }
+};
+
+TEST_P(ConfigMatrix, TiersAgreeExactly) {
+  const ConfigCase c = GetParam();
+  OverlayParams p;
+  p.n = 192;
+  p.d = 6;
+  p.seed = 0xCAFE;
+  const Overlay overlay = Overlay::build(p);
+  util::Xoshiro256 rng(0xC0FFEE);
+  const auto byz = graph::random_byzantine_mask(192, 7, rng);
+  const auto cfg = make_config(c);
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto fast = proto::run_counting(overlay, byz, *s1, cfg, 0xD1CE);
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  sim::Engine engine(overlay, byz, *s2, cfg, 0xD1CE);
+  const auto ref = engine.run();
+
+  EXPECT_EQ(fast.estimate, ref.estimate) << c.label;
+  EXPECT_EQ(fast.flood_rounds, ref.flood_rounds) << c.label;
+  EXPECT_EQ(fast.instr.token_messages, ref.instr.token_messages) << c.label;
+  EXPECT_EQ(fast.instr.verify_messages, ref.instr.verify_messages) << c.label;
+  EXPECT_EQ(fast.instr.crashes, ref.instr.crashes) << c.label;
+}
+
+TEST_P(ConfigMatrix, CleanRunStaysAccurate) {
+  const ConfigCase c = GetParam();
+  OverlayParams p;
+  p.n = 1024;
+  p.d = 8;
+  p.seed = 0xBEAD;
+  const Overlay overlay = Overlay::build(p);
+  const std::vector<bool> byz(1024, false);
+  auto strat = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto cfg = make_config(c);
+  const auto run = proto::run_counting(overlay, byz, *strat, cfg, 0xF1FE);
+  const auto acc = proto::summarize_accuracy(run, 1024);
+  EXPECT_EQ(acc.decided, acc.honest) << c.label;
+  EXPECT_GT(acc.frac_in_band, 0.95) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConfigMatrix,
+    ::testing::Values(
+        ConfigCase{proto::SchedulePolicy::kAppendix, true,
+                   proto::ChainModel::kStrict, true, true, 0.1, "default"},
+        ConfigCase{proto::SchedulePolicy::kPseudocode, true,
+                   proto::ChainModel::kStrict, true, true, 0.1, "pseudocode"},
+        ConfigCase{proto::SchedulePolicy::kAppendix, false,
+                   proto::ChainModel::kStrict, true, true, 0.1, "alpha_only"},
+        ConfigCase{proto::SchedulePolicy::kAppendix, true,
+                   proto::ChainModel::kRewired, true, true, 0.1, "rewired"},
+        ConfigCase{proto::SchedulePolicy::kAppendix, true,
+                   proto::ChainModel::kStrict, false, true, 0.1, "no_verify"},
+        ConfigCase{proto::SchedulePolicy::kAppendix, true,
+                   proto::ChainModel::kStrict, true, false, 0.1, "no_crash"},
+        ConfigCase{proto::SchedulePolicy::kAppendix, true,
+                   proto::ChainModel::kStrict, true, true, 0.02, "tight_eps"},
+        ConfigCase{proto::SchedulePolicy::kPseudocode, false,
+                   proto::ChainModel::kRewired, true, true, 0.3, "loose_all"}),
+    [](const ::testing::TestParamInfo<ConfigCase>& info) {
+      return std::string(info.param.label);
+    });
+
+}  // namespace
+}  // namespace byz

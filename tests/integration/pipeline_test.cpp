@@ -1,0 +1,130 @@
+// End-to-end pipeline (Algorithm 2 → refinement → smoothing) under every
+// adversary strategy and placement: the production path exercised by
+// examples/size_service.cpp, asserted as invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/placement.hpp"
+#include "graph/bfs.hpp"
+#include "graph/categories.hpp"
+#include "protocols/fastpath.hpp"
+#include "protocols/refine.hpp"
+#include "sim/runner.hpp"
+
+namespace byz {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n, std::uint32_t d, std::uint64_t seed) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+class PipelinePerStrategy
+    : public ::testing::TestWithParam<adv::StrategyKind> {};
+
+TEST_P(PipelinePerStrategy, RefinedAndSmoothedStayBounded) {
+  const NodeId n = 2048;
+  const std::uint32_t d = 6;  // crash asymptotics regime (DESIGN.md §3.5)
+  const Overlay o = sample(n, d, 0xFACE);
+  util::Xoshiro256 rng(5);
+  const auto byz = graph::random_byzantine_mask(
+      n, sim::derive_byz_count(n, 0.7), rng);
+  const auto strat = adv::make_strategy(GetParam());
+  proto::ProtocolConfig cfg;
+  const auto run = proto::run_counting(o, byz, *strat, cfg, 0xBEEF);
+
+  const auto refined = proto::refine_run(run, d);
+  const auto racc = proto::summarize_refined(refined, byz, n);
+  // Whatever the attack, refined ratios of deciders stay within a loose
+  // constant band (no blow-ups, no zeros from decided nodes).
+  ASSERT_GT(racc.with_estimate, 0u);
+  EXPECT_GT(racc.min_ratio, 0.1) << adv::to_string(GetParam());
+  EXPECT_LT(racc.max_ratio, 3.0) << adv::to_string(GetParam());
+
+  // Smoothing under the worst estimate lie cannot push the median outside
+  // a slightly wider band.
+  const auto smoothed =
+      proto::smooth_estimates(o, byz, refined, proto::EstimateLie::kInflate);
+  const auto sacc = proto::summarize_refined(smoothed, byz, n);
+  EXPECT_LT(sacc.max_ratio, 3.5) << adv::to_string(GetParam());
+  // Smoothing reduces (or maintains) the spread.
+  EXPECT_LE(sacc.stddev_ratio, racc.stddev_ratio + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, PipelinePerStrategy,
+    ::testing::ValuesIn(adv::all_strategies()),
+    [](const ::testing::TestParamInfo<adv::StrategyKind>& info) {
+      std::string name = adv::to_string(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+class PipelinePerPlacement : public ::testing::TestWithParam<adv::Placement> {};
+
+TEST_P(PipelinePerPlacement, DamageIsLocalizedToTheChain) {
+  // Even adversarial placement only stalls nodes near the Byzantine set;
+  // far nodes must still decide with sane refined estimates.
+  const NodeId n = 2048;
+  const Overlay o = sample(n, 8, 0xFEED);
+  util::Xoshiro256 rng(7);
+  const auto byz = adv::place_byzantine(o, 45, GetParam(), rng);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  proto::ProtocolConfig cfg;
+  const auto run = proto::run_counting(o, byz, *strat, cfg, 0xF00D);
+
+  // Honest nodes at H-distance > k+1 from every Byzantine node always
+  // decide (stalling requires receiving a verified late injection, which
+  // only neighborhoods of usable chains can).
+  std::vector<NodeId> byz_nodes;
+  for (NodeId v = 0; v < n; ++v) {
+    if (byz[v]) byz_nodes.push_back(v);
+  }
+  const auto dist = graph::multi_source_distances(o.h_simple(), byz_nodes);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!byz[v] && dist[v] > o.k() + 1) {
+      EXPECT_NE(static_cast<int>(run.status[v]),
+                static_cast<int>(proto::NodeStatus::kUndecided))
+          << "far node " << v << " stalled under "
+          << adv::to_string(GetParam());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, PipelinePerPlacement,
+    ::testing::ValuesIn(adv::all_placements()),
+    [](const ::testing::TestParamInfo<adv::Placement>& info) {
+      return std::string(adv::to_string(info.param));
+    });
+
+TEST(Pipeline, AgreementImprovesMonotonically) {
+  // The three stages must be progressively tighter on a clean network.
+  const NodeId n = 4096;
+  const Overlay o = sample(n, 8, 0xABBA);
+  const std::vector<bool> byz(n, false);
+  const auto run = proto::run_basic_counting(o, 0xD00D);
+  const auto raw = proto::summarize_accuracy(run, n);
+  const auto refined = proto::refine_run(run, 8);
+  const auto racc = proto::summarize_refined(refined, byz, n);
+  const auto smoothed =
+      proto::smooth_estimates(o, byz, refined, proto::EstimateLie::kHonest);
+  const auto sacc = proto::summarize_refined(smoothed, byz, n);
+  // Stage 2 closer to 1.0 than stage 1's raw phase ratio.
+  EXPECT_LT(std::abs(racc.mean_ratio - 1.0), std::abs(raw.mean_ratio - 1.0));
+  // Stage 3 at most stage 2's spread.
+  EXPECT_LE(sacc.stddev_ratio, racc.stddev_ratio);
+}
+
+}  // namespace
+}  // namespace byz

@@ -1,0 +1,113 @@
+#include "protocols/estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/fastpath.hpp"
+
+namespace byz::proto {
+namespace {
+
+RunResult make_run(std::vector<NodeStatus> status,
+                   std::vector<std::uint32_t> estimate) {
+  RunResult r;
+  r.status = std::move(status);
+  r.estimate = std::move(estimate);
+  return r;
+}
+
+TEST(SummarizeAccuracy, CountsEveryCategory) {
+  // n = 16 -> log2 = 4. Estimates 2 and 4 are in [0.05, 3.0] * 4.
+  const auto r = make_run(
+      {NodeStatus::kDecided, NodeStatus::kDecided, NodeStatus::kCrashed,
+       NodeStatus::kUndecided, NodeStatus::kByzantine},
+      {2, 4, 0, 0, 0});
+  const auto acc = summarize_accuracy(r, 16);
+  EXPECT_EQ(acc.honest, 4u);
+  EXPECT_EQ(acc.decided, 2u);
+  EXPECT_EQ(acc.crashed, 1u);
+  EXPECT_EQ(acc.undecided, 1u);
+  EXPECT_EQ(acc.in_band, 2u);
+  EXPECT_DOUBLE_EQ(acc.min_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(acc.max_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(acc.mean_ratio, 0.75);
+  EXPECT_DOUBLE_EQ(acc.frac_in_band, 0.5);   // 2 of 4 honest
+  EXPECT_DOUBLE_EQ(acc.frac_good, 1.0);      // 2 of 2 decided
+}
+
+TEST(SummarizeAccuracy, BandBoundsRespected) {
+  // log2(16) = 4; band [0.5, 0.75] * 4 = estimates in [2, 3].
+  const auto r = make_run(
+      {NodeStatus::kDecided, NodeStatus::kDecided, NodeStatus::kDecided},
+      {1, 2, 3});
+  const auto acc = summarize_accuracy(r, 16, 0.5, 0.75);
+  EXPECT_EQ(acc.in_band, 2u);  // estimates 2 and 3
+}
+
+TEST(SummarizeAccuracy, NoDecidersZeroRatios) {
+  const auto r = make_run({NodeStatus::kCrashed, NodeStatus::kUndecided},
+                          {0, 0});
+  const auto acc = summarize_accuracy(r, 1024);
+  EXPECT_EQ(acc.decided, 0u);
+  EXPECT_EQ(acc.mean_ratio, 0.0);
+  EXPECT_EQ(acc.min_ratio, 0.0);
+  EXPECT_EQ(acc.frac_good, 0.0);
+}
+
+TEST(SummarizeAccuracy, AllByzantineGivesEmptyHonest) {
+  const auto r = make_run({NodeStatus::kByzantine, NodeStatus::kByzantine},
+                          {0, 0});
+  const auto acc = summarize_accuracy(r, 4);
+  EXPECT_EQ(acc.honest, 0u);
+  EXPECT_EQ(acc.frac_in_band, 0.0);
+}
+
+TEST(Instrumentation, MergeAddsAndMaxes) {
+  sim::Instrumentation a;
+  a.token_messages = 10;
+  a.max_node_round_sends = 3;
+  a.crashes = 1;
+  sim::Instrumentation b;
+  b.token_messages = 5;
+  b.max_node_round_sends = 7;
+  b.verify_messages = 4;
+  a.merge(b);
+  EXPECT_EQ(a.token_messages, 15u);
+  EXPECT_EQ(a.max_node_round_sends, 7u);
+  EXPECT_EQ(a.verify_messages, 4u);
+  EXPECT_EQ(a.crashes, 1u);
+}
+
+TEST(Instrumentation, ByteModelConstants) {
+  sim::Instrumentation i;
+  i.count_token(3);
+  EXPECT_EQ(i.token_messages, 3u);
+  EXPECT_EQ(i.token_bytes, 3 * sim::Instrumentation::kTokenBytes);
+  i.count_setup_list(10);
+  EXPECT_EQ(i.setup_messages, 1u);
+  EXPECT_EQ(i.setup_bytes, 8 + 10 * sim::Instrumentation::kIdBytes);
+  i.count_verification(5);
+  EXPECT_EQ(i.verify_messages, 10u);  // query + response
+  EXPECT_EQ(i.total_messages(), 3u + 1u + 10u);
+  EXPECT_GT(i.total_bytes(), 0u);
+}
+
+TEST(ResolveMaxPhase, AutoScalesWithLogN) {
+  graph::OverlayParams small_params;
+  small_params.n = 1024;
+  small_params.d = 8;
+  small_params.seed = 1;
+  const auto small_overlay = graph::Overlay::build(small_params);
+  graph::OverlayParams big_params;
+  big_params.n = 16384;
+  big_params.d = 8;
+  big_params.seed = 1;
+  const auto big_overlay = graph::Overlay::build(big_params);
+  ProtocolConfig cfg;
+  EXPECT_LT(resolve_max_phase(small_overlay, cfg),
+            resolve_max_phase(big_overlay, cfg));
+  cfg.max_phase = 5;
+  EXPECT_EQ(resolve_max_phase(big_overlay, cfg), 5u);
+}
+
+}  // namespace
+}  // namespace byz::proto

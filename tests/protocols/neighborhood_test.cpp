@@ -1,0 +1,232 @@
+#include "protocols/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/categories.hpp"
+#include "graph/tree_like.hpp"
+#include "util/rng.hpp"
+
+namespace byz::proto {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n = 512, std::uint32_t d = 8, std::uint64_t seed = 61) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+TEST(ClaimSet, TruthfulByDefault) {
+  const Overlay o = sample(64, 6);
+  ClaimSet claims(o);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_TRUE(claims.truthful(v));
+    const auto c = claims.claimed(v);
+    const auto g = o.g().neighbors(v);
+    ASSERT_EQ(c.size(), g.size());
+  }
+}
+
+TEST(ClaimSet, OverrideSortsAndDedups) {
+  const Overlay o = sample(64, 6);
+  ClaimSet claims(o);
+  claims.set_claim(3, {9, 1, 9, 5});
+  const auto c = claims.claimed(3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 1u);
+  EXPECT_EQ(c[1], 5u);
+  EXPECT_EQ(c[2], 9u);
+  EXPECT_FALSE(claims.truthful(3));
+}
+
+TEST(Conflict, NoneWhenEveryoneTruthful) {
+  const Overlay o = sample(128, 6);
+  const ClaimSet claims(o);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_FALSE(detects_conflict(claims, v)) << "v=" << v;
+  }
+}
+
+TEST(Conflict, HiddenEdgeDetectedByWitness) {
+  // u hides its edge to w; any common G-neighbor v (and w itself) sees the
+  // contradiction with w's truthful claim.
+  const Overlay o = sample(128, 6);
+  ClaimSet claims(o);
+  const NodeId u = 0;
+  const auto u_nbrs = o.g().neighbors(u);
+  const NodeId w = u_nbrs[0];
+  std::vector<NodeId> lie(u_nbrs.begin(), u_nbrs.end());
+  lie.erase(std::remove(lie.begin(), lie.end(), w), lie.end());
+  claims.set_claim(u, lie);
+  EXPECT_TRUE(detects_conflict(claims, w));  // w's own channel is denied
+  // A common neighbor also catches it via the pairwise rule.
+  for (const NodeId v : o.g().neighbors(u)) {
+    if (v != w && o.g().has_edge(v, w)) {
+      EXPECT_TRUE(detects_conflict(claims, v));
+      break;
+    }
+  }
+}
+
+TEST(Conflict, FabricatedEdgeDetected) {
+  // u claims an edge to honest y (another G-neighbor of v) that does not
+  // exist; y's truthful claim contradicts it at any v seeing both.
+  const Overlay o = sample(128, 6);
+  ClaimSet claims(o);
+  const NodeId v = 7;
+  const auto v_nbrs = o.g().neighbors(v);
+  // Find u, y ∈ N(v) that are NOT adjacent in G.
+  NodeId u = graph::kInvalidNode;
+  NodeId y = graph::kInvalidNode;
+  for (std::size_t a = 0; a < v_nbrs.size() && u == graph::kInvalidNode; ++a) {
+    for (std::size_t b = 0; b < v_nbrs.size(); ++b) {
+      if (a != b && !o.g().has_edge(v_nbrs[a], v_nbrs[b])) {
+        u = v_nbrs[a];
+        y = v_nbrs[b];
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, graph::kInvalidNode) << "need a non-adjacent pair in N(v)";
+  const auto u_nbrs = o.g().neighbors(u);
+  std::vector<NodeId> lie(u_nbrs.begin(), u_nbrs.end());
+  lie.push_back(y);
+  claims.set_claim(u, lie);
+  EXPECT_TRUE(detects_conflict(claims, v));
+}
+
+TEST(Conflict, FabricatedIdOutsideBallNotDetectable) {
+  // Claims about ids nobody can see (beyond the k-ball) are unverifiable;
+  // adding one must NOT crash anyone (Byzantine nodes "fake the presence
+  // of non-existing nodes" — the protocol survives it).
+  const Overlay o = sample(128, 6);
+  ClaimSet claims(o);
+  const NodeId u = 0;
+  const auto u_nbrs = o.g().neighbors(u);
+  std::vector<NodeId> lie(u_nbrs.begin(), u_nbrs.end());
+  lie.push_back(o.num_nodes() + 1000);  // fabricated id
+  claims.set_claim(u, lie);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    EXPECT_FALSE(detects_conflict(claims, v));
+  }
+}
+
+TEST(CrashSet, MatchesReferenceConflictDetection) {
+  // The byz-pair shortcut must agree exactly with running the full pairwise
+  // rule at every node.
+  const Overlay o = sample(256, 6, 67);
+  util::Xoshiro256 rng(5);
+  const auto byz = graph::random_byzantine_mask(o.num_nodes(), 12, rng);
+  ClaimSet claims(o);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    if (!byz[v]) continue;
+    // Arbitrary lie: drop the last claimed neighbor.
+    const auto nbrs = o.g().neighbors(v);
+    std::vector<NodeId> lie(nbrs.begin(), nbrs.end());
+    if (!lie.empty()) lie.pop_back();
+    claims.set_claim(v, lie);
+  }
+  const auto crash = compute_crash_set(claims, byz, nullptr);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    if (byz[v]) continue;
+    EXPECT_EQ(crash[v], detects_conflict(claims, v)) << "v=" << v;
+  }
+}
+
+TEST(CrashSet, EmptyLieCrashesAllHonestNeighbors) {
+  const Overlay o = sample(128, 6, 71);
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[10] = true;
+  ClaimSet claims(o);
+  claims.set_claim(10, {});
+  const auto crash = compute_crash_set(claims, byz, nullptr);
+  for (const NodeId w : o.g().neighbors(10)) {
+    if (!byz[w]) EXPECT_TRUE(crash[w]);
+  }
+  // Nodes outside N_G(10) never see node 10's claims: no crash.
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    if (!byz[v] && !o.g().has_edge(10, v)) EXPECT_FALSE(crash[v]);
+  }
+}
+
+TEST(CrashSet, CountsSetupTraffic) {
+  const Overlay o = sample(64, 6, 73);
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const ClaimSet claims(o);
+  sim::Instrumentation instr;
+  (void)compute_crash_set(claims, byz, &instr);
+  // Every node ships one list per G-edge endpoint.
+  EXPECT_EQ(instr.setup_messages, o.g().num_slots());
+  EXPECT_GT(instr.setup_bytes, instr.setup_messages * 8);
+  EXPECT_EQ(instr.crashes, 0u);
+}
+
+TEST(Reconstruction, Lemma3ExactOnTreeLikeNeighborhoods) {
+  // Lemma 3's subset criterion recovers the exact H-neighbor set wherever
+  // the node is locally tree-like at radius k+1 (shortcuts through depth-
+  // (k+1) nodes are what create spurious maximal elements; see DESIGN.md
+  // §3.5). At d=4 (k=2) and n=8192 the radius-3 tree-like set is ~93% of
+  // nodes, all of which must reconstruct exactly.
+  const Overlay o = sample(8192, 4, 79);
+  const ClaimSet claims(o);
+  const auto ltl =
+      graph::classify_tree_like(o.h(), o.params().d, o.k() + 1);
+  EXPECT_GT(ltl.count, o.num_nodes() * 8 / 10);
+  std::uint32_t checked = 0;
+  for (NodeId v = 0; v < o.num_nodes() && checked < 300; ++v) {
+    if (!ltl.is_tree_like[v]) continue;
+    ++checked;
+    const auto rec = reconstruct_neighborhood(claims, v);
+    EXPECT_FALSE(rec.conflict);
+    const auto truth = o.h_neighbors(v);
+    ASSERT_EQ(rec.h_neighbors.size(), truth.size()) << "v=" << v;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(rec.h_neighbors[i], truth[i]);
+    }
+  }
+  EXPECT_GE(checked, 100u);
+}
+
+TEST(Reconstruction, MostlyExactEvenBeyondTreeLikeNodes) {
+  // Off the tree-like set the reconstruction may add spurious H-neighbors
+  // (it stays a superset); overall exactness should still dominate.
+  const Overlay o = sample(8192, 4, 81);
+  const ClaimSet claims(o);
+  std::uint32_t exact = 0;
+  const std::uint32_t total = 400;
+  for (NodeId v = 0; v < total; ++v) {
+    const auto rec = reconstruct_neighborhood(claims, v);
+    const auto truth = o.h_neighbors(v);
+    if (rec.h_neighbors.size() == truth.size() &&
+        std::equal(truth.begin(), truth.end(), rec.h_neighbors.begin())) {
+      ++exact;
+    } else {
+      // Failure mode is always over-inclusion, never a missing neighbor.
+      EXPECT_TRUE(std::includes(rec.h_neighbors.begin(),
+                                rec.h_neighbors.end(), truth.begin(),
+                                truth.end()))
+          << "v=" << v;
+    }
+  }
+  EXPECT_GT(exact, total * 8 / 10);
+}
+
+TEST(Reconstruction, ConflictShortCircuits) {
+  const Overlay o = sample(64, 6, 83);
+  ClaimSet claims(o);
+  claims.set_claim(0, {});
+  const NodeId victim = o.g().neighbors(0)[0];
+  const auto rec = reconstruct_neighborhood(claims, victim);
+  EXPECT_TRUE(rec.conflict);
+  EXPECT_TRUE(rec.h_neighbors.empty());
+}
+
+}  // namespace
+}  // namespace byz::proto

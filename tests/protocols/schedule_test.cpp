@@ -1,0 +1,150 @@
+#include "protocols/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace byz::proto {
+namespace {
+
+TEST(Alpha, AppendixFormulaAtI3) {
+  ScheduleConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.policy = SchedulePolicy::kAppendix;
+  // i=3, d=8: ceil((log2(10) + 4 - 3) / (1 * log2 7)) = ceil(4.32/2.81) = 2.
+  EXPECT_EQ(alpha_i(3, 8, cfg), 2u);
+}
+
+TEST(Alpha, AppendixSatisfiesLemma26Inequality) {
+  // (1 / (d (d-1)^(i-2)))^{α_i} <= ε / 2^{i+1} for i >= 3.
+  ScheduleConfig cfg;
+  cfg.epsilon = 0.1;
+  for (std::uint32_t d : {6u, 8u, 12u}) {
+    for (std::uint32_t i = 3; i <= 20; ++i) {
+      const auto a = alpha_i(i, d, cfg);
+      const double fail_prob =
+          std::pow(1.0 / (d * std::pow(d - 1.0, i - 2.0)), a);
+      EXPECT_LE(fail_prob, cfg.epsilon / std::pow(2.0, i + 1.0) + 1e-12)
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(Alpha, SmallPhasesUseFallback) {
+  ScheduleConfig cfg;
+  cfg.epsilon = 0.1;
+  // i ∈ {1,2}: 1 + (i+1)/log2(10) rounded up.
+  EXPECT_EQ(alpha_i(1, 8, cfg), static_cast<std::uint32_t>(
+                                    std::ceil(1.0 + 2.0 / std::log2(10.0))));
+  EXPECT_EQ(alpha_i(2, 8, cfg), static_cast<std::uint32_t>(
+                                    std::ceil(1.0 + 3.0 / std::log2(10.0))));
+}
+
+TEST(Alpha, AtLeastOneAlways) {
+  ScheduleConfig cfg;
+  for (const double eps : {0.01, 0.1, 0.5, 0.9}) {
+    cfg.epsilon = eps;
+    for (const auto policy :
+         {SchedulePolicy::kAppendix, SchedulePolicy::kPseudocode}) {
+      cfg.policy = policy;
+      for (std::uint32_t i = 1; i <= 40; ++i) {
+        EXPECT_GE(alpha_i(i, 8, cfg), 1u);
+        EXPECT_LE(alpha_i(i, 8, cfg), cfg.max_alpha);
+      }
+    }
+  }
+}
+
+TEST(Alpha, SmallerEpsilonNeverFewerSubphases) {
+  ScheduleConfig strict;
+  strict.epsilon = 0.01;
+  ScheduleConfig loose;
+  loose.epsilon = 0.2;
+  for (std::uint32_t i = 3; i <= 20; ++i) {
+    EXPECT_GE(alpha_i(i, 8, strict), alpha_i(i, 8, loose));
+  }
+}
+
+TEST(Alpha, InvalidParamsThrow) {
+  ScheduleConfig cfg;
+  EXPECT_THROW((void)alpha_i(0, 8, cfg), std::invalid_argument);
+  EXPECT_THROW((void)alpha_i(1, 2, cfg), std::invalid_argument);
+  cfg.epsilon = 0.0;
+  EXPECT_THROW((void)alpha_i(1, 8, cfg), std::invalid_argument);
+  cfg.epsilon = 1.0;
+  EXPECT_THROW((void)alpha_i(1, 8, cfg), std::invalid_argument);
+}
+
+TEST(Subphases, TimesIMultiplier) {
+  ScheduleConfig cfg;
+  cfg.subphases_times_i = true;
+  EXPECT_EQ(subphases_in_phase(4, 8, cfg), 4 * alpha_i(4, 8, cfg));
+  cfg.subphases_times_i = false;
+  EXPECT_EQ(subphases_in_phase(4, 8, cfg), alpha_i(4, 8, cfg));
+}
+
+TEST(Rounds, PhaseRoundsAreSubphasesTimesSteps) {
+  ScheduleConfig cfg;
+  EXPECT_EQ(rounds_in_phase(5, 8, cfg),
+            static_cast<std::uint64_t>(subphases_in_phase(5, 8, cfg)) * 5);
+}
+
+TEST(Rounds, CumulativeMonotone) {
+  ScheduleConfig cfg;
+  std::uint64_t prev = 0;
+  for (std::uint32_t i = 1; i <= 15; ++i) {
+    const auto total = rounds_through_phase(i, 8, cfg);
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(Rounds, PolylogarithmicGrowth) {
+  // Theorem 1: O(log^3 n) rounds. Through phase i the round count is
+  // O(i^3); check the cubic envelope empirically.
+  ScheduleConfig cfg;
+  cfg.epsilon = 0.1;
+  const double r10 = static_cast<double>(rounds_through_phase(10, 8, cfg));
+  const double r20 = static_cast<double>(rounds_through_phase(20, 8, cfg));
+  // Doubling i should grow rounds by at most ~2^3 (+ slack).
+  EXPECT_LT(r20 / r10, 10.0);
+  EXPECT_GT(r20 / r10, 3.0);
+}
+
+TEST(GlobalIndex, ContiguousAcrossPhases) {
+  ScheduleConfig cfg;
+  std::uint32_t expected = 0;
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    const auto count = subphases_in_phase(i, 8, cfg);
+    for (std::uint32_t j = 1; j <= count; ++j) {
+      EXPECT_EQ(global_subphase_index(i, j, 8, cfg), expected);
+      ++expected;
+    }
+  }
+}
+
+TEST(GlobalIndex, OutOfRangeThrows) {
+  ScheduleConfig cfg;
+  EXPECT_THROW((void)global_subphase_index(3, 0, 8, cfg), std::out_of_range);
+  const auto count = subphases_in_phase(3, 8, cfg);
+  EXPECT_THROW((void)global_subphase_index(3, count + 1, 8, cfg),
+               std::out_of_range);
+}
+
+TEST(Factors, PaperEndpoints) {
+  // a = δ/(10 k log2(d-1)), b = 4/log2(1+γ/d); 0 < a < b for sane params.
+  const double a = factor_a(0.5, 3, 8);
+  const double b = factor_b(1.0, 8);
+  EXPECT_NEAR(a, 0.5 / (30.0 * std::log2(7.0)), 1e-12);
+  EXPECT_NEAR(b, 4.0 / std::log2(1.125), 1e-9);
+  EXPECT_GT(a, 0.0);
+  EXPECT_GT(b, a);
+}
+
+TEST(Factors, BadParamsThrow) {
+  EXPECT_THROW((void)factor_a(0.5, 0, 8), std::invalid_argument);
+  EXPECT_THROW((void)factor_b(1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byz::proto

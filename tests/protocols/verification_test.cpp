@@ -1,0 +1,185 @@
+#include "protocols/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/categories.hpp"
+#include "util/rng.hpp"
+
+namespace byz::proto {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n = 256, std::uint32_t d = 8, std::uint64_t seed = 91) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+TEST(ByzPath, HonestEndpointIsZero) {
+  const Overlay o = sample();
+  const std::vector<bool> byz(o.num_nodes(), false);
+  EXPECT_EQ(byz_path_ending_at(o.h_simple(), byz, 0, 10), 0u);
+}
+
+TEST(ByzPath, IsolatedByzIsOne) {
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[3] = true;
+  EXPECT_EQ(byz_path_ending_at(o.h_simple(), byz, 3, 10), 1u);
+}
+
+TEST(ByzPath, ChainAlongHEdges) {
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  // Walk three H-hops from node 0 marking everything Byzantine.
+  NodeId a = 0;
+  byz[a] = true;
+  NodeId b = o.h_simple().neighbors(a)[0];
+  byz[b] = true;
+  NodeId c = graph::kInvalidNode;
+  for (const NodeId w : o.h_simple().neighbors(b)) {
+    if (w != a) {
+      c = w;
+      break;
+    }
+  }
+  ASSERT_NE(c, graph::kInvalidNode);
+  byz[c] = true;
+  EXPECT_GE(byz_path_ending_at(o.h_simple(), byz, c, 10), 3u);
+  EXPECT_GE(byz_path_ending_at(o.h_simple(), byz, a, 10), 3u);
+}
+
+TEST(Verifier, CheckBallSizesMatchOverlay) {
+  const Overlay o = sample(256, 8);
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const Verifier ver(o, byz, {});
+  // step 1 -> |B_H(v,1)| = 1 + deg_H; step >= k-1 caps at |B_H(v,k-1)|.
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(ver.check_ball_size(v, 1),
+              1u + o.h_simple().degree(v));
+    std::uint32_t within2 = 1;
+    for (const auto dval : o.g_dists(v)) {
+      if (dval <= 2) ++within2;
+    }
+    EXPECT_EQ(ver.check_ball_size(v, 2), within2);
+    EXPECT_EQ(ver.check_ball_size(v, 99), within2);  // k-1 = 2 cap
+  }
+}
+
+TEST(Verifier, HonestForwardAlwaysAccepted) {
+  const Overlay o = sample();
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation instr;
+  EXPECT_TRUE(ver.accept(0, 5, 3, 5, false, instr));
+  EXPECT_EQ(instr.injections_attempted, 0u);
+  EXPECT_GT(instr.verify_messages, 0u);
+}
+
+TEST(Verifier, GenerationClaimAlwaysAccepted) {
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[0] = true;
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation instr;
+  EXPECT_TRUE(ver.accept(0, 1'000'000, 1, 0, true, instr));
+  EXPECT_EQ(instr.injections_accepted, 1u);
+  EXPECT_EQ(instr.injections_caught, 0u);
+}
+
+TEST(Verifier, MidSubphaseFabricationCaughtWithoutChain) {
+  // Lemma 16: an isolated Byzantine node cannot push a fake color at any
+  // step t >= 2.
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[7] = true;
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation instr;
+  for (std::uint32_t t = 2; t <= 6; ++t) {
+    EXPECT_FALSE(ver.accept(7, 999, t, 0, true, instr)) << "t=" << t;
+  }
+  EXPECT_EQ(instr.injections_caught, 5u);
+  EXPECT_EQ(instr.injections_accepted, 0u);
+}
+
+TEST(Verifier, ChainOfTwoAllowsStepTwoOnly) {
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  const NodeId a = 0;
+  const NodeId b = o.h_simple().neighbors(a)[0];
+  byz[a] = byz[b] = true;
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation instr;
+  EXPECT_TRUE(ver.accept(a, 999, 2, 0, true, instr));   // needs chain 2: have it
+  EXPECT_FALSE(ver.accept(a, 999, 3, 0, true, instr));  // needs chain 3 (= k)
+  EXPECT_FALSE(ver.accept(a, 999, 9, 2, true, instr));  // needs chain k
+}
+
+TEST(Verifier, ByzCanReplayLegitFreshValue) {
+  // A Byzantine node forwarding exactly what an honest node would forward
+  // is indistinguishable from honest behavior: accepted, not an injection.
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[4] = true;
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation instr;
+  EXPECT_TRUE(ver.accept(4, 6, 4, 6, true, instr));
+  EXPECT_EQ(instr.injections_attempted, 0u);
+}
+
+TEST(Verifier, DisabledAcceptsEverythingSilently) {
+  // Algorithm-1 ablation: no verification traffic, everything believed.
+  const Overlay o = sample();
+  std::vector<bool> byz(o.num_nodes(), false);
+  byz[2] = true;
+  VerificationConfig cfg;
+  cfg.enabled = false;
+  const Verifier ver(o, byz, cfg);
+  sim::Instrumentation instr;
+  EXPECT_TRUE(ver.accept(2, 12345, 5, 0, true, instr));
+  EXPECT_EQ(instr.verify_messages, 0u);
+  EXPECT_EQ(instr.injections_accepted, 1u);
+}
+
+TEST(Verifier, RewiredModelAtLeastAsPermissive) {
+  // The rewired chain model counts Byzantine nodes in the (k-1)-ball, which
+  // upper-bounds the strict simple-path model.
+  const Overlay o = sample(512, 8, 97);
+  util::Xoshiro256 rng(13);
+  const auto byz = graph::random_byzantine_mask(o.num_nodes(), 48, rng);
+  VerificationConfig strict;
+  strict.chain_model = ChainModel::kStrict;
+  VerificationConfig rewired;
+  rewired.chain_model = ChainModel::kRewired;
+  const Verifier vs(o, byz, strict);
+  const Verifier vr(o, byz, rewired);
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    if (!byz[v]) continue;
+    EXPECT_GE(vr.usable_chain(v), vs.usable_chain(v)) << "v=" << v;
+  }
+}
+
+TEST(Verifier, VerificationTrafficScalesWithBall) {
+  const Overlay o = sample();
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const Verifier ver(o, byz, {});
+  sim::Instrumentation i1;
+  sim::Instrumentation i2;
+  (void)ver.accept(0, 3, 1, 3, false, i1);
+  (void)ver.accept(0, 3, 2, 3, false, i2);
+  EXPECT_GT(i2.verify_messages, i1.verify_messages);  // bigger checked ball
+}
+
+TEST(Verifier, MaskSizeMismatchThrows) {
+  const Overlay o = sample(64, 6, 101);
+  EXPECT_THROW(Verifier(o, std::vector<bool>(5, false), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byz::proto

@@ -1,0 +1,92 @@
+// The load-bearing test of the two-tier design: the message-level engine
+// and the array fast path must produce IDENTICAL per-node outcomes (status,
+// estimate) and identical logical message counts on the same seed, for
+// every adversary strategy.
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.hpp"
+#include "graph/categories.hpp"
+#include "protocols/fastpath.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace byz {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+struct Case {
+  NodeId n;
+  std::uint32_t d;
+  std::uint64_t seed;
+  adv::StrategyKind strategy;
+  NodeId byz_count;
+};
+
+class EquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EquivalenceTest, EngineMatchesFastPath) {
+  const Case c = GetParam();
+  OverlayParams p;
+  p.n = c.n;
+  p.d = c.d;
+  p.seed = c.seed;
+  const Overlay overlay = Overlay::build(p);
+  util::Xoshiro256 rng(c.seed ^ 0xB12);
+  const auto byz = graph::random_byzantine_mask(c.n, c.byz_count, rng);
+
+  proto::ProtocolConfig cfg;
+  const std::uint64_t color_seed = c.seed ^ 0xC01;
+
+  auto s1 = adv::make_strategy(c.strategy);
+  const auto fast = proto::run_counting(overlay, byz, *s1, cfg, color_seed);
+
+  auto s2 = adv::make_strategy(c.strategy);
+  sim::Engine engine(overlay, byz, *s2, cfg, color_seed);
+  const auto ref = engine.run();
+
+  ASSERT_EQ(fast.status.size(), ref.status.size());
+  for (NodeId v = 0; v < c.n; ++v) {
+    EXPECT_EQ(static_cast<int>(fast.status[v]), static_cast<int>(ref.status[v]))
+        << "status mismatch at v=" << v;
+    EXPECT_EQ(fast.estimate[v], ref.estimate[v]) << "estimate mismatch at v=" << v;
+  }
+  EXPECT_EQ(fast.phases_executed, ref.phases_executed);
+  EXPECT_EQ(fast.flood_rounds, ref.flood_rounds);
+  EXPECT_EQ(fast.instr.token_messages, ref.instr.token_messages);
+  EXPECT_EQ(fast.instr.setup_messages, ref.instr.setup_messages);
+  EXPECT_EQ(fast.instr.verify_messages, ref.instr.verify_messages);
+  EXPECT_EQ(fast.instr.injections_attempted, ref.instr.injections_attempted);
+  EXPECT_EQ(fast.instr.injections_accepted, ref.instr.injections_accepted);
+  EXPECT_EQ(fast.instr.injections_caught, ref.instr.injections_caught);
+  EXPECT_EQ(fast.instr.crashes, ref.instr.crashes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, EquivalenceTest,
+    ::testing::Values(
+        Case{200, 6, 1, adv::StrategyKind::kHonest, 0},
+        Case{200, 6, 2, adv::StrategyKind::kHonest, 8},
+        Case{200, 6, 3, adv::StrategyKind::kFakeColor, 8},
+        Case{200, 6, 4, adv::StrategyKind::kSuppress, 8},
+        Case{200, 6, 5, adv::StrategyKind::kTopologyLiar, 8},
+        Case{200, 6, 6, adv::StrategyKind::kCrashMaximizer, 8},
+        Case{200, 6, 7, adv::StrategyKind::kAdaptive, 8},
+        Case{333, 8, 8, adv::StrategyKind::kFakeColor, 12},
+        Case{128, 4, 9, adv::StrategyKind::kAdaptive, 6},
+        Case{512, 6, 10, adv::StrategyKind::kFakeColor, 20}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const Case& c = info.param;
+      std::string name = std::string(adv::to_string(c.strategy)) + "_n" +
+                         std::to_string(c.n) + "_d" + std::to_string(c.d) +
+                         "_s" + std::to_string(c.seed);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace byz

@@ -1,0 +1,121 @@
+// Engine-specific behaviors beyond the equivalence suite: the per-round
+// message trace, crash handling at setup, and determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/categories.hpp"
+#include "util/rng.hpp"
+
+namespace byz::sim {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n = 256, std::uint32_t d = 6, std::uint64_t seed = 3) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+TEST(Engine, RoundTraceSumsToTokenTotal) {
+  const Overlay o = sample();
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kHonest);
+  proto::ProtocolConfig cfg;
+  Engine engine(o, byz, *strat, cfg, 42);
+  const auto run = engine.run();
+  const auto& trace = engine.round_messages();
+  EXPECT_EQ(trace.size(), run.flood_rounds);
+  const std::uint64_t total =
+      std::accumulate(trace.begin(), trace.end(), std::uint64_t{0});
+  EXPECT_EQ(total, run.instr.token_messages);
+}
+
+TEST(Engine, FirstRoundIsFullBroadcast) {
+  // In subphase step 1 every active node broadcasts its color: the first
+  // trace entry must equal the sum of H-degrees (2|E(H_simple)|).
+  const Overlay o = sample();
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kHonest);
+  proto::ProtocolConfig cfg;
+  Engine engine(o, byz, *strat, cfg, 7);
+  (void)engine.run();
+  EXPECT_EQ(engine.round_messages().at(0), o.h_simple().num_slots());
+}
+
+TEST(Engine, CrashMaximizerSilencesVictimsEntirely) {
+  const Overlay o = sample(256, 6, 5);
+  util::Xoshiro256 rng(9);
+  const auto byz = graph::random_byzantine_mask(o.num_nodes(), 4, rng);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kCrashMaximizer);
+  proto::ProtocolConfig cfg;
+  Engine engine(o, byz, *strat, cfg, 11);
+  const auto run = engine.run();
+  std::uint64_t crashed = 0;
+  for (NodeId v = 0; v < o.num_nodes(); ++v) {
+    if (run.status[v] == proto::NodeStatus::kCrashed) {
+      ++crashed;
+      EXPECT_EQ(run.estimate[v], 0u);
+    }
+  }
+  EXPECT_EQ(crashed, run.instr.crashes);
+  EXPECT_GT(crashed, 0u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  const Overlay o = sample(200, 6, 7);
+  util::Xoshiro256 rng(13);
+  const auto byz = graph::random_byzantine_mask(o.num_nodes(), 8, rng);
+  proto::ProtocolConfig cfg;
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  Engine e1(o, byz, *s1, cfg, 17);
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  Engine e2(o, byz, *s2, cfg, 17);
+  const auto r1 = e1.run();
+  const auto r2 = e2.run();
+  EXPECT_EQ(r1.estimate, r2.estimate);
+  EXPECT_EQ(r1.instr.token_messages, r2.instr.token_messages);
+}
+
+TEST(Engine, MaskSizeMismatchThrows) {
+  const Overlay o = sample(64, 6, 9);
+  auto strat = adv::make_strategy(adv::StrategyKind::kHonest);
+  proto::ProtocolConfig cfg;
+  EXPECT_THROW(Engine(o, std::vector<bool>(3, false), *strat, cfg, 1),
+               std::invalid_argument);
+}
+
+TEST(Engine, NoVerificationTrafficWhenDisabled) {
+  const Overlay o = sample(128, 6, 11);
+  util::Xoshiro256 rng(15);
+  const auto byz = graph::random_byzantine_mask(o.num_nodes(), 4, rng);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  proto::ProtocolConfig cfg;
+  cfg.verification.enabled = false;
+  cfg.max_phase = 6;  // bounded: unverified injections can stall forever
+  Engine engine(o, byz, *strat, cfg, 19);
+  const auto run = engine.run();
+  EXPECT_EQ(run.instr.verify_messages, 0u);
+}
+
+TEST(Engine, PhaseCapRespected) {
+  const Overlay o = sample(128, 6, 13);
+  const std::vector<bool> byz(o.num_nodes(), false);
+  const auto strat = adv::make_strategy(adv::StrategyKind::kHonest);
+  proto::ProtocolConfig cfg;
+  cfg.max_phase = 2;  // force an early stop
+  Engine engine(o, byz, *strat, cfg, 21);
+  const auto run = engine.run();
+  EXPECT_LE(run.phases_executed, 2u);
+  for (const auto e : run.estimate) EXPECT_LE(e, 2u);
+}
+
+}  // namespace
+}  // namespace byz::sim

@@ -1,0 +1,106 @@
+#include "adversary/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/categories.hpp"
+#include "graph/connectivity.hpp"
+
+namespace byz::adv {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+Overlay sample(NodeId n = 1024, std::uint32_t d = 8, std::uint64_t seed = 5) {
+  OverlayParams p;
+  p.n = n;
+  p.d = d;
+  p.seed = seed;
+  return Overlay::build(p);
+}
+
+NodeId count_marked(const std::vector<bool>& mask) {
+  NodeId c = 0;
+  for (const bool b : mask) c += b ? 1 : 0;
+  return c;
+}
+
+TEST(Placement, NamesAndEnumeration) {
+  EXPECT_EQ(all_placements().size(), 4u);
+  EXPECT_STREQ(to_string(Placement::kRandom), "random");
+  EXPECT_STREQ(to_string(Placement::kChain), "chain");
+}
+
+TEST(Placement, ExactBudgetForEveryStrategy) {
+  const Overlay o = sample();
+  for (const auto placement : all_placements()) {
+    util::Xoshiro256 rng(7);
+    const auto mask = place_byzantine(o, 40, placement, rng);
+    EXPECT_EQ(count_marked(mask), 40u) << to_string(placement);
+  }
+}
+
+TEST(Placement, ZeroBudgetIsEmpty) {
+  const Overlay o = sample(128, 6);
+  util::Xoshiro256 rng(9);
+  const auto mask = place_byzantine(o, 0, Placement::kClustered, rng);
+  EXPECT_EQ(count_marked(mask), 0u);
+}
+
+TEST(Placement, OverBudgetThrows) {
+  const Overlay o = sample(64, 6);
+  util::Xoshiro256 rng(9);
+  EXPECT_THROW((void)place_byzantine(o, 65, Placement::kRandom, rng),
+               std::invalid_argument);
+}
+
+TEST(Placement, ChainBuildsLongByzantinePaths) {
+  const Overlay o = sample();
+  util::Xoshiro256 rng(11);
+  const auto mask = place_byzantine(o, 32, Placement::kChain, rng);
+  const auto chain = graph::longest_byzantine_chain(o.h_simple(), mask, 64);
+  // A self-avoiding walk of 32 nodes on a d=8 expander rarely dead-ends:
+  // the realized chain must vastly exceed k = 3.
+  EXPECT_GE(chain, 16u);
+}
+
+TEST(Placement, ClusteredIsConnectedBlob) {
+  const Overlay o = sample();
+  util::Xoshiro256 rng(13);
+  const auto mask = place_byzantine(o, 50, Placement::kClustered, rng);
+  // The Byzantine-induced subgraph of H is (one) connected component.
+  const auto sub_mask = graph::largest_component_mask(o.h_simple(), mask);
+  EXPECT_EQ(count_marked(sub_mask), 50u);
+}
+
+TEST(Placement, SpreadKeepsNodesApart) {
+  const Overlay o = sample();
+  util::Xoshiro256 rng(17);
+  const auto spread = place_byzantine(o, 24, Placement::kSpread, rng);
+  const auto chain = graph::longest_byzantine_chain(o.h_simple(), spread, 8);
+  EXPECT_LE(chain, 2u);  // far-apart nodes are (essentially) never adjacent
+}
+
+TEST(Placement, RandomMatchesMaskHelper) {
+  const Overlay o = sample(256, 6);
+  util::Xoshiro256 a(21);
+  util::Xoshiro256 b(21);
+  const auto via_place = place_byzantine(o, 10, Placement::kRandom, a);
+  const auto via_mask = graph::random_byzantine_mask(256, 10, b);
+  EXPECT_EQ(via_place, via_mask);
+}
+
+TEST(Placement, DeterministicGivenSeed) {
+  const Overlay o = sample(512, 6);
+  for (const auto placement : all_placements()) {
+    util::Xoshiro256 a(31);
+    util::Xoshiro256 b(31);
+    EXPECT_EQ(place_byzantine(o, 20, placement, a),
+              place_byzantine(o, 20, placement, b))
+        << to_string(placement);
+  }
+}
+
+}  // namespace
+}  // namespace byz::adv

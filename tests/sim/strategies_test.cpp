@@ -1,0 +1,175 @@
+#include "adversary/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "graph/categories.hpp"
+#include "protocols/neighborhood.hpp"
+#include "util/rng.hpp"
+
+namespace byz::adv {
+namespace {
+
+using graph::NodeId;
+using graph::Overlay;
+using graph::OverlayParams;
+
+struct Fixture {
+  Fixture() {
+    OverlayParams p;
+    p.n = 256;
+    p.d = 6;
+    p.seed = 77;
+    overlay = Overlay::build(p);
+    util::Xoshiro256 rng(5);
+    byz = graph::random_byzantine_mask(overlay.num_nodes(), 10, rng);
+    world = sim::World::make(overlay, byz, 99);
+  }
+  Overlay overlay{};
+  std::vector<bool> byz;
+  sim::World world;
+};
+
+TEST(Factory, AllStrategiesConstructible) {
+  for (const auto kind : all_strategies()) {
+    const auto s = make_strategy(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), to_string(kind));
+  }
+}
+
+TEST(Factory, NamesDistinct) {
+  std::set<std::string> names;
+  for (const auto kind : all_strategies()) {
+    names.insert(to_string(kind));
+  }
+  EXPECT_EQ(names.size(), all_strategies().size());
+}
+
+TEST(Honest, NoLiesNoInjections) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kHonest);
+  proto::ClaimSet claims(f.overlay);
+  s->setup_lies(f.world, claims);
+  for (NodeId v = 0; v < f.overlay.num_nodes(); ++v) {
+    EXPECT_TRUE(claims.truthful(v));
+  }
+  std::vector<proto::Injection> inj;
+  s->plan_subphase(f.world, {3, 1, 10}, inj);
+  EXPECT_TRUE(inj.empty());
+  EXPECT_TRUE(s->forwards_floods());
+  EXPECT_TRUE(s->generates_honestly());
+}
+
+TEST(FakeColor, InjectsAtStartAndEnd) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kFakeColor);
+  std::vector<proto::Injection> inj;
+  s->plan_subphase(f.world, {4, 2, 11}, inj);
+  EXPECT_EQ(inj.size(), 2 * f.world.byz_nodes.size());
+  bool saw_step1 = false;
+  bool saw_last = false;
+  for (const auto& i : inj) {
+    EXPECT_TRUE(f.byz[i.from]);
+    EXPECT_GT(i.value, 1'000'000u - 1);
+    if (i.step == 1) saw_step1 = true;
+    if (i.step == 4) saw_last = true;
+  }
+  EXPECT_TRUE(saw_step1);
+  EXPECT_TRUE(saw_last);
+}
+
+TEST(FakeColor, PhaseOneOnlyInjectsOnce) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kFakeColor);
+  std::vector<proto::Injection> inj;
+  s->plan_subphase(f.world, {1, 1, 0}, inj);
+  EXPECT_EQ(inj.size(), f.world.byz_nodes.size());
+}
+
+TEST(Suppress, SilentBlackhole) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kSuppress);
+  std::vector<proto::Injection> inj;
+  s->plan_subphase(f.world, {3, 1, 9}, inj);
+  EXPECT_TRUE(inj.empty());
+  EXPECT_FALSE(s->forwards_floods());
+  EXPECT_FALSE(s->generates_honestly());
+}
+
+TEST(TopologyLiar, LieIsCaughtByCrashRule) {
+  // Lemma 15: the chain concoction cannot deceive — it crashes witnesses.
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kTopologyLiar);
+  proto::ClaimSet claims(f.overlay);
+  s->setup_lies(f.world, claims);
+  const auto crash = proto::compute_crash_set(claims, f.byz, nullptr);
+  // Every Byzantine node that actually lied must have crashed at least one
+  // honest neighbor (the suppressed edge's witness).
+  std::uint32_t crashed = 0;
+  for (NodeId v = 0; v < f.overlay.num_nodes(); ++v) {
+    if (crash[v]) ++crashed;
+  }
+  EXPECT_GT(crashed, 0u);
+}
+
+TEST(CrashMaximizer, CrashesExactlyTheHonestNeighborhoods) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kCrashMaximizer);
+  proto::ClaimSet claims(f.overlay);
+  s->setup_lies(f.world, claims);
+  const auto crash = proto::compute_crash_set(claims, f.byz, nullptr);
+  for (NodeId v = 0; v < f.overlay.num_nodes(); ++v) {
+    if (f.byz[v]) continue;
+    bool has_byz_neighbor = false;
+    for (const NodeId w : f.overlay.g().neighbors(v)) {
+      if (f.byz[w]) {
+        has_byz_neighbor = true;
+        break;
+      }
+    }
+    EXPECT_EQ(crash[v], has_byz_neighbor) << "v=" << v;
+  }
+}
+
+TEST(Adaptive, CombinesEverything) {
+  Fixture f;
+  const auto s = make_strategy(StrategyKind::kAdaptive);
+  EXPECT_FALSE(s->forwards_floods());
+  proto::ClaimSet claims(f.overlay);
+  s->setup_lies(f.world, claims);
+  for (const NodeId b : f.world.byz_nodes) {
+    EXPECT_FALSE(claims.truthful(b));
+  }
+  std::vector<proto::Injection> inj;
+  s->plan_subphase(f.world, {5, 1, 20}, inj);
+  EXPECT_GE(inj.size(), 2 * f.world.byz_nodes.size());
+}
+
+TEST(InjectionProbe, SkipsPhasesBeforeItsStep) {
+  Fixture f;
+  InjectionProbe probe(7, 12345);
+  std::vector<proto::Injection> inj;
+  probe.plan_subphase(f.world, {3, 1, 9}, inj);
+  EXPECT_TRUE(inj.empty());  // phase 3 < probe step 7
+  probe.plan_subphase(f.world, {7, 1, 30}, inj);
+  ASSERT_EQ(inj.size(), f.world.byz_nodes.size());
+  for (const auto& i : inj) {
+    EXPECT_EQ(i.step, 7u);
+    EXPECT_EQ(i.value, 12345u);
+  }
+}
+
+TEST(World, FullInformationIncludesFutureCoins) {
+  Fixture f;
+  // The adversary can read any (node, subphase) coin — including ones the
+  // protocol has not reached yet — and they match the honest draws.
+  EXPECT_EQ(f.world.color(3, 1000), proto::color_at(99, 3, 1000));
+  EXPECT_EQ(f.world.true_n, f.overlay.num_nodes());
+  EXPECT_EQ(f.world.byz_nodes.size(), 10u);
+}
+
+}  // namespace
+}  // namespace byz::adv

@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace byz::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/byz_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.write_row({"1", "2"});
+    w.write_row({"3", "4"});
+    EXPECT_EQ(w.rows_written(), 2u);
+    w.close();
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2\n3,4\n");
+}
+
+TEST_F(CsvTest, QuotesSpecials) {
+  {
+    CsvWriter w(path_, {"x"});
+    w.write_row({"a,b"});
+    w.write_row({"say \"hi\""});
+    w.close();
+  }
+  EXPECT_EQ(slurp(path_), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, WidthMismatchThrows) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, EmptyHeaderThrows) {
+  EXPECT_THROW(CsvWriter(path_, {}), std::invalid_argument);
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace byz::util

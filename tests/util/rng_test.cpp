@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace byz::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(MixSeed, ChildStreamsDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(mix_seed(7, i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, BelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowApproximatelyUniform) {
+  Xoshiro256 rng(99);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, CoinIsFair) {
+  Xoshiro256 rng(11);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_NEAR(heads, 50000, 1500);
+}
+
+TEST(Xoshiro256, SplitStreamsIndependent) {
+  Xoshiro256 parent(3);
+  auto a = parent.split(0);
+  auto b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SplitIsDeterministic) {
+  Xoshiro256 p1(3);
+  Xoshiro256 p2(3);
+  auto a = p1.split(17);
+  auto b = p2.split(17);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(GeometricColor, MinimumIsOne) {
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(geometric_color(rng), 1u);
+  }
+}
+
+TEST(GeometricColor, MatchesGeometricLaw) {
+  // Pr[c = r] = 2^-r (Observation 4.1).
+  Xoshiro256 rng(2024);
+  constexpr int kDraws = 200000;
+  std::array<int, 8> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint32_t c = geometric_color(rng);
+    if (c <= counts.size()) ++counts[c - 1];
+  }
+  for (std::size_t r = 1; r <= 6; ++r) {
+    const double expected = kDraws * std::pow(0.5, static_cast<double>(r));
+    EXPECT_NEAR(counts[r - 1], expected, 5.0 * std::sqrt(expected) + 10.0)
+        << "r=" << r;
+  }
+}
+
+TEST(GeometricColor, MeanIsTwo) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += geometric_color(rng);
+  EXPECT_NEAR(sum / kDraws, 2.0, 0.02);
+}
+
+TEST(Exponential, MeanMatchesRate) {
+  Xoshiro256 rng(8);
+  for (const double lambda : {0.5, 1.0, 4.0}) {
+    double sum = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) sum += exponential(rng, lambda);
+    EXPECT_NEAR(sum / kDraws, 1.0 / lambda, 0.05 / lambda);
+  }
+}
+
+TEST(Exponential, AlwaysNonNegative) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(exponential(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace byz::util
