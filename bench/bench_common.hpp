@@ -1,4 +1,7 @@
-// Shared plumbing for the experiment binaries.
+// Shared plumbing for the registered byzbench scenarios. Each
+// bench_eXX.cpp registers one ScenarioSpec against the bench_core
+// registry; the byzbench binary links them all and drives them through
+// the orchestrator (shared scheduler + overlay cache + JSON emitters).
 #pragma once
 
 #include <cmath>
@@ -10,15 +13,10 @@
 
 namespace byz::bench {
 
-/// Builds an overlay for (n, d) with a deterministic per-experiment seed.
-inline graph::Overlay make_overlay(graph::NodeId n, std::uint32_t d,
-                                   std::uint64_t seed) {
-  graph::OverlayParams p;
-  p.n = n;
-  p.d = d;
-  p.seed = seed;
-  return graph::Overlay::build(p);
-}
+using bench_core::GridAxis;
+using bench_core::Json;
+using bench_core::RunContext;
+using bench_core::ScenarioSpec;
 
 /// Byzantine placement for a trial.
 inline std::vector<bool> place_byz(graph::NodeId n, double delta,
@@ -30,10 +28,9 @@ inline std::vector<bool> place_byz(graph::NodeId n, double delta,
 /// log2 helper.
 inline double lg(double x) { return std::log2(x); }
 
-/// Trial count after env scaling (BYZCOUNT_SCALE).
-inline std::uint32_t trials(std::uint32_t base) {
-  const double scaled = base * analysis::env_scale();
-  return scaled < 1.0 ? 1u : static_cast<std::uint32_t>(scaled);
+/// Grid axis covering the pow2 sweep [2^lo, 2^hi] (declarative view).
+inline GridAxis pow2_axis(std::uint32_t lo, std::uint32_t hi) {
+  return {"n", {"2^" + std::to_string(lo) + "..2^" + std::to_string(hi)}};
 }
 
 }  // namespace byz::bench

@@ -3,39 +3,77 @@
 // Reports lambda2 against the Ramanujan value 2*sqrt(d-1), the Cheeger
 // bounds (d-lambda2)/2 <= h <= sqrt(2d(d-lambda2)), and a constructive
 // sweep-cut upper bound on the edge expansion.
-#include <iostream>
-
 #include "bench_common.hpp"
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+namespace {
 
-  const auto max_exp = analysis::env_max_exp(15);
+using namespace byz;
+using namespace byz::bench;
+
+struct Cell {
+  graph::NodeId n = 0;
+  std::uint32_t d = 0;
+  double lambda2 = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double sweep = 0.0;
+  std::uint32_t iterations = 0;
+};
+
+void run_e02(RunContext& ctx) {
+  const auto sizes = analysis::pow2_sizes(10, ctx.max_exp(15));
+
+  std::vector<Cell> grid;
+  for (const std::uint32_t d : {6u, 8u, 12u}) {
+    for (const auto n : sizes) grid.push_back({n, d, 0, 0, 0, 0, 0});
+  }
+  const auto cells = ctx.scheduler().map(grid.size(), [&](std::uint64_t i) {
+    Cell cell = grid[i];
+    util::Xoshiro256 rng(0xE2 + cell.n + cell.d);
+    const auto h = graph::build_hamiltonian_graph(cell.n, cell.d, rng);
+    const auto spec = graph::second_eigenvalue(h, 3000, 1e-10, 0xE2);
+    const auto bounds = graph::cheeger_bounds(cell.d, spec.lambda2);
+    cell.lambda2 = spec.lambda2;
+    cell.lower = bounds.lower;
+    cell.upper = bounds.upper;
+    cell.sweep = graph::sweep_cut_expansion(h, spec.vector2);
+    cell.iterations = spec.iterations;
+    return cell;
+  });
+
   util::Table table("E2: H(n,d) expansion (power iteration + sweep cut)");
   table.columns({"n", "d", "lambda2", "2*sqrt(d-1)", "h lower", "h upper",
                  "sweep-cut h", "iters"});
-  for (const std::uint32_t d : {6u, 8u, 12u}) {
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
-      util::Xoshiro256 rng(0xE2 + n + d);
-      const auto h = graph::build_hamiltonian_graph(n, d, rng);
-      const auto spec = graph::second_eigenvalue(h, 3000, 1e-10, 0xE2);
-      const auto bounds = graph::cheeger_bounds(d, spec.lambda2);
-      const double sweep = graph::sweep_cut_expansion(h, spec.vector2);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(d)
-          .cell(spec.lambda2, 3)
-          .cell(2.0 * std::sqrt(d - 1.0), 3)
-          .cell(bounds.lower, 3)
-          .cell(bounds.upper, 3)
-          .cell(sweep, 3)
-          .cell(spec.iterations);
-    }
+  std::vector<double> gap_ratio;
+  for (const auto& cell : cells) {
+    table.row()
+        .cell(std::uint64_t{cell.n})
+        .cell(cell.d)
+        .cell(cell.lambda2, 3)
+        .cell(2.0 * std::sqrt(cell.d - 1.0), 3)
+        .cell(cell.lower, 3)
+        .cell(cell.upper, 3)
+        .cell(cell.sweep, 3)
+        .cell(cell.iterations);
+    gap_ratio.push_back(cell.lambda2 / (2.0 * std::sqrt(cell.d - 1.0)));
   }
   table.note("Friedman/Lemma 19: random regular graphs are near-Ramanujan "
              "(lambda2 ~ 2 sqrt(d-1)); the true edge expansion h lies in "
              "[h lower, min(h upper, sweep-cut h)].");
-  analysis::emit(table);
-  return 0;
+  ctx.emit(table);
+  ctx.metric("lambda2_over_ramanujan", bench_core::quantiles_json(gap_ratio));
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e02) {
+  ScenarioSpec spec;
+  spec.id = "e02";
+  spec.title = "H(n,d) spectral expansion";
+  spec.claim = "Lemma 19: H(n,d) is near-Ramanujan, lambda2 ~ 2 sqrt(d-1)";
+  spec.grid = {{"d", {"6", "8", "12"}}, pow2_axis(10, 15)};
+  spec.base_trials = 1;
+  spec.metrics = {"lambda2_over_ramanujan"};
+  spec.run = run_e02;
+  return spec;
 }

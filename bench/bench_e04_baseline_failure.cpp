@@ -2,20 +2,26 @@
 // (or near-exact) on a clean network and is destroyed by a single Byzantine
 // node; Byzantine suppression also blinds the leader-flood approach when
 // the leader itself is Byzantine.
-#include <iostream>
+#include <algorithm>
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+namespace {
 
-  const auto max_exp = analysis::env_max_exp(13);
+using namespace byz;
+using namespace byz::bench;
+
+void run_e04(RunContext& ctx) {
+  const auto sizes = analysis::pow2_sizes(10, ctx.max_exp(13));
+  const auto& sched = ctx.scheduler();
+
   {
-    util::Table table("E4a: geometric max-flood estimate of log2 n (d=8)");
-    table.columns({"n", "log2 n", "clean est", "1 byz inflate", "sqrt(n) byz",
-                   "rounds"});
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    struct Row {
+      std::uint64_t clean = 0, hit1 = 0, hitm = 0;
+      std::uint32_t rounds = 0;
+    };
+    const auto rows = sched.map(sizes.size(), [&](std::uint64_t i) {
+      const auto n = sizes[i];
       util::Xoshiro256 rng(0xE4 + n);
       const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
       const std::vector<bool> none(n, false);
@@ -28,22 +34,31 @@ int main() {
           base::run_geometric_support(h, one, base::FloodAttack::kInflate, 64, 1);
       const auto hitm =
           base::run_geometric_support(h, byz, base::FloodAttack::kInflate, 64, 1);
+      return Row{clean.estimate[0], hit1.estimate[0], hitm.estimate[0],
+                 clean.rounds};
+    });
+    util::Table table("E4a: geometric max-flood estimate of log2 n (d=8)");
+    table.columns({"n", "log2 n", "clean est", "1 byz inflate", "sqrt(n) byz",
+                   "rounds"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
       table.row()
-          .cell(std::uint64_t{n})
-          .cell(lg(n), 1)
-          .cell(std::uint64_t{clean.estimate[0]})
-          .cell(std::uint64_t{hit1.estimate[0]})
-          .cell(std::uint64_t{hitm.estimate[0]})
-          .cell(clean.rounds);
+          .cell(std::uint64_t{sizes[i]})
+          .cell(lg(sizes[i]), 1)
+          .cell(rows[i].clean)
+          .cell(rows[i].hit1)
+          .cell(rows[i].hitm)
+          .cell(rows[i].rounds);
     }
     table.note("One inflating Byzantine node suffices: every honest node "
                "adopts the fake maximum (2^30).");
-    analysis::emit(table);
+    ctx.emit(table);
   }
   {
-    util::Table table("E4b: exponential support estimation n-hat (s=64)");
-    table.columns({"n", "clean n-hat", "1 byz inflate", "clean err %"});
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    struct Row {
+      double clean = 0.0, hit = 0.0;
+    };
+    const auto rows = sched.map(sizes.size(), [&](std::uint64_t i) {
+      const auto n = sizes[i];
       util::Xoshiro256 rng(0xE4B + n);
       const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
       const std::vector<bool> none(n, false);
@@ -53,18 +68,27 @@ int main() {
           h, none, base::FloodAttack::kNone, 64, 64, 2);
       const auto hit = base::run_exponential_support(
           h, one, base::FloodAttack::kInflate, 64, 64, 2);
+      return Row{clean.estimate[0], hit.estimate[0]};
+    });
+    util::Table table("E4b: exponential support estimation n-hat (s=64)");
+    table.columns({"n", "clean n-hat", "1 byz inflate", "clean err %"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const double n = static_cast<double>(sizes[i]);
       table.row()
-          .cell(std::uint64_t{n})
-          .cell(clean.estimate[0], 0)
-          .cell(hit.estimate[0], 0)
-          .cell(100.0 * std::abs(clean.estimate[0] - n) / n, 1);
+          .cell(std::uint64_t{sizes[i]})
+          .cell(rows[i].clean, 0)
+          .cell(rows[i].hit, 0)
+          .cell(100.0 * std::abs(rows[i].clean - n) / n, 1);
     }
-    analysis::emit(table);
+    ctx.emit(table);
   }
   {
-    util::Table table("E4c: spanning-tree converge-cast count");
-    table.columns({"n", "clean", "1 byz inflate", "1 byz zero", "rounds"});
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    struct Row {
+      std::uint64_t clean = 0, inflate = 0, zero = 0;
+      std::uint32_t rounds = 0;
+    };
+    const auto rows = sched.map(sizes.size(), [&](std::uint64_t i) {
+      const auto n = sizes[i];
       util::Xoshiro256 rng(0xE4C + n);
       const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
       const std::vector<bool> none(n, false);
@@ -76,64 +100,102 @@ int main() {
           base::run_spanning_tree_count(h, one, 0, base::TreeAttack::kInflate);
       const auto zero =
           base::run_spanning_tree_count(h, one, 0, base::TreeAttack::kZero);
+      return Row{clean.root_count, inflate.root_count, zero.root_count,
+                 clean.rounds};
+    });
+    util::Table table("E4c: spanning-tree converge-cast count");
+    table.columns({"n", "clean", "1 byz inflate", "1 byz zero", "rounds"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
       table.row()
-          .cell(std::uint64_t{n})
-          .cell(clean.root_count)
-          .cell(inflate.root_count)
-          .cell(zero.root_count)
-          .cell(clean.rounds);
+          .cell(std::uint64_t{sizes[i]})
+          .cell(rows[i].clean)
+          .cell(rows[i].inflate)
+          .cell(rows[i].zero)
+          .cell(rows[i].rounds);
     }
-    analysis::emit(table);
+    ctx.emit(table);
   }
   {
-    util::Table table("E4d: birthday-paradox estimator (m = 8 sqrt(n))");
-    table.columns({"n", "clean n-hat", "n^0.5 byz n-hat"});
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    struct Row {
+      double clean = 0.0, hit = 0.0;
+    };
+    const auto rows = sched.map(sizes.size(), [&](std::uint64_t i) {
+      const auto n = sizes[i];
       const std::vector<bool> none(n, false);
       const auto byz = place_byz(n, 0.5, 0xE4D + n);
       const auto m = static_cast<std::uint32_t>(
           8.0 * std::sqrt(static_cast<double>(n)));
       const auto clean = base::run_birthday(n, none, m, 3);
       const auto hit = base::run_birthday(n, byz, m, 3);
+      return Row{clean.estimate, hit.estimate};
+    });
+    util::Table table("E4d: birthday-paradox estimator (m = 8 sqrt(n))");
+    table.columns({"n", "clean n-hat", "n^0.5 byz n-hat"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
       table.row()
-          .cell(std::uint64_t{n})
-          .cell(clean.estimate, 0)
-          .cell(hit.estimate, 0);
+          .cell(std::uint64_t{sizes[i]})
+          .cell(rows[i].clean, 0)
+          .cell(rows[i].hit, 0);
     }
-    analysis::emit(table);
+    ctx.emit(table);
   }
   {
-    util::Table table("E4e: leader flood-diameter (needs a leader — the catch)");
-    table.columns({"n", "honest leader ecc", "byz leader", "reached (32 byz "
-                   "suppressors)"});
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
+    struct Row {
+      std::uint32_t ecc = 0;
+      bool never_starts = false;
+      std::uint64_t reached = 0;
+    };
+    const auto rows = sched.map(sizes.size(), [&](std::uint64_t i) {
+      const auto n = sizes[i];
       util::Xoshiro256 rng(0xE4E + n);
       const auto h = graph::simplify(graph::build_hamiltonian_graph(n, 8, rng));
       const std::vector<bool> none(n, false);
       std::vector<bool> leader_byz(n, false);
       leader_byz[0] = true;
       std::vector<bool> belt(n, false);
-      for (int i = 0; i < 32; ++i) belt[rng.below(n)] = true;
+      for (int b = 0; b < 32; ++b) belt[rng.below(n)] = true;
       const auto honest = base::run_flood_diameter(h, none, 0, false, 64);
       const auto byzled = base::run_flood_diameter(h, leader_byz, 0, false, 64);
       const auto sup = base::run_flood_diameter(h, belt, 1, true, 64);
-      std::uint32_t ecc = 0;
+      Row row;
       for (const auto f : honest.first_seen) {
-        if (f != graph::kUnreachable) ecc = std::max(ecc, f);
+        if (f != graph::kUnreachable) row.ecc = std::max(row.ecc, f);
       }
-      std::uint64_t reached = 0;
+      row.never_starts = byzled.rounds == 0;
       for (const auto f : sup.first_seen) {
-        if (f != graph::kUnreachable) ++reached;
+        if (f != graph::kUnreachable) ++row.reached;
       }
+      return row;
+    });
+    util::Table table("E4e: leader flood-diameter (needs a leader — the catch)");
+    table.columns({"n", "honest leader ecc", "byz leader", "reached (32 byz "
+                   "suppressors)"});
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
       table.row()
-          .cell(std::uint64_t{n})
-          .cell(ecc)
-          .cell(byzled.rounds == 0 ? "never starts" : "?")
-          .cell(reached);
+          .cell(std::uint64_t{sizes[i]})
+          .cell(rows[i].ecc)
+          .cell(rows[i].never_starts ? "never starts" : "?")
+          .cell(rows[i].reached);
     }
     table.note("Estimating log n via a leader's flood works — but electing "
                "the leader without knowing n is the very problem (§1.2).");
-    analysis::emit(table);
+    ctx.emit(table);
   }
-  return 0;
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e04) {
+  ScenarioSpec spec;
+  spec.id = "e04";
+  spec.title = "classical baselines destroyed by one Byzantine node";
+  spec.claim = "S1.2: max-flood, support, tree-count, birthday, leader-flood "
+               "all fail under a single fault";
+  spec.grid = {{"baseline", {"max-flood", "exp-support", "tree", "birthday",
+                             "leader-flood"}},
+               pow2_axis(10, 13)};
+  spec.base_trials = 1;
+  spec.metrics = {};
+  spec.run = run_e04;
+  return spec;
 }

@@ -6,79 +6,137 @@
 //     every subphase; the Verifier must accept step-1 claims (unauditable
 //     generation), accept step-t claims only when a length-min(t,k) chain
 //     exists, and catch everything else.
-#include <iostream>
+#include <algorithm>
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+namespace {
 
-  const auto t = trials(10);
+using namespace byz;
+using namespace byz::bench;
+
+void run_e09(RunContext& ctx) {
+  const auto t = ctx.trials(10);
   {
+    const auto sizes = analysis::pow2_sizes(10, ctx.max_exp(14));
+    const double deltas[] = {0.4, 0.5, 0.7};
+
+    struct Cell {
+      std::uint32_t worst = 0;
+      std::uint32_t violations = 0;
+      std::uint32_t k = 0;
+    };
+    struct Point {
+      graph::NodeId n;
+      double delta;
+    };
+    std::vector<Point> grid;
+    for (const auto n : sizes) {
+      for (const double delta : deltas) grid.push_back({n, delta});
+    }
+    const auto cells = ctx.scheduler().map(grid.size(), [&](std::uint64_t i) {
+      const auto [n, delta] = grid[i];
+      const auto overlay = ctx.overlay(n, 8, 0xE9 + n);
+      Cell cell;
+      cell.k = overlay->k();
+      for (std::uint32_t trial = 0; trial < t; ++trial) {
+        util::Xoshiro256 rng(util::mix_seed(0xE9A + n, trial));
+        const auto byz = graph::random_byzantine_mask(
+            n, sim::derive_byz_count(n, delta), rng);
+        const auto chain =
+            graph::longest_byzantine_chain(overlay->h_simple(), byz, 10);
+        cell.worst = std::max(cell.worst, chain);
+        if (chain >= overlay->k()) ++cell.violations;
+      }
+      return cell;
+    });
+
     util::Table table("E9a: longest Byzantine chain in H (d=8, k=3, " +
                       std::to_string(t) + " trials, max over trials)");
     table.columns({"n", "delta", "B", "k*delta", "max chain", "P[chain>=k]"});
-    for (const auto n : analysis::pow2_sizes(10, analysis::env_max_exp(14))) {
-      for (const double delta : {0.4, 0.5, 0.7}) {
-        const auto overlay = make_overlay(n, 8, 0xE9 + n);
-        std::uint32_t worst = 0;
-        std::uint32_t violations = 0;
-        for (std::uint32_t trial = 0; trial < t; ++trial) {
-          util::Xoshiro256 rng(util::mix_seed(0xE9A + n, trial));
-          const auto byz = graph::random_byzantine_mask(
-              n, sim::derive_byz_count(n, delta), rng);
-          const auto chain =
-              graph::longest_byzantine_chain(overlay.h_simple(), byz, 10);
-          worst = std::max(worst, chain);
-          if (chain >= overlay.k()) ++violations;
-        }
-        table.row()
-            .cell(std::uint64_t{n})
-            .cell(delta, 1)
-            .cell(std::uint64_t{sim::derive_byz_count(n, delta)})
-            .cell(overlay.k() * delta, 2)
-            .cell(worst)
-            .cell(static_cast<double>(violations) / t, 2);
-      }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto [n, delta] = grid[i];
+      table.row()
+          .cell(std::uint64_t{n})
+          .cell(delta, 1)
+          .cell(std::uint64_t{sim::derive_byz_count(n, delta)})
+          .cell(cells[i].k * delta, 2)
+          .cell(cells[i].worst)
+          .cell(static_cast<double>(cells[i].violations) / t, 2);
     }
     table.note("Observation 6: chains of length >= k vanish iff k*delta > 1 "
                "(delta > 3/d). The delta=0.4 row sits near the boundary for "
                "d=8 and shows residual chains at small n.");
-    analysis::emit(table);
+    ctx.emit(table);
   }
   {
+    const graph::NodeId n = 4096;
+    const std::uint32_t steps[] = {1u, 2u, 3u, 4u, 6u};
+    struct Row {
+      std::uint32_t needs_chain = 0;
+      std::uint64_t accepted = 0;
+      std::uint64_t caught = 0;
+      std::uint64_t undecided = 0;
+      sim::Instrumentation instr;
+    };
+    const auto rows = ctx.scheduler().map(std::size(steps), [&](std::uint64_t i) {
+      const auto step = steps[i];
+      const auto overlay = ctx.overlay(n, 8, 0xE9B);
+      const auto byz = place_byz(n, 0.5, 0xE9B);
+      adv::InjectionProbe probe(step, 900000 + step);
+      proto::ProtocolConfig cfg;
+      const auto run = proto::run_counting(*overlay, byz, probe, cfg, 0xC9);
+      const auto acc = proto::summarize_accuracy(run, n);
+      Row row;
+      row.needs_chain = std::min(step, overlay->k());
+      row.accepted = run.instr.injections_accepted;
+      row.caught = run.instr.injections_caught;
+      row.undecided = acc.undecided;
+      row.instr = run.instr;
+      return row;
+    });
+
     util::Table table(
         "E9b: injection probe vs step (d=8, k=3, n=4096, delta=0.5)");
     table.columns({"inject step", "needs chain", "accepted", "caught",
                    "catch rate", "undecided honest"});
-    const graph::NodeId n = 4096;
-    const auto overlay = make_overlay(n, 8, 0xE9B);
-    const auto byz = place_byz(n, 0.5, 0xE9B);
-    for (const std::uint32_t step : {1u, 2u, 3u, 4u, 6u}) {
-      adv::InjectionProbe probe(step, 900000 + step);
-      proto::ProtocolConfig cfg;
-      const auto run = proto::run_counting(overlay, byz, probe, cfg, 0xC9);
-      const auto acc = proto::summarize_accuracy(run, n);
-      const auto attempted =
-          run.instr.injections_accepted + run.instr.injections_caught;
+    for (std::size_t i = 0; i < std::size(steps); ++i) {
+      const auto& row = rows[i];
+      const auto attempted = row.accepted + row.caught;
       table.row()
-          .cell(step)
-          .cell(std::min(step, overlay.k()))
-          .cell(run.instr.injections_accepted)
-          .cell(run.instr.injections_caught)
-          .cell(attempted ? static_cast<double>(run.instr.injections_caught) /
+          .cell(steps[i])
+          .cell(row.needs_chain)
+          .cell(row.accepted)
+          .cell(row.caught)
+          .cell(attempted ? static_cast<double>(row.caught) /
                                 static_cast<double>(attempted)
                           : 0.0,
                 3)
-          .cell(acc.undecided);
+          .cell(row.undecided);
+      ctx.count_messages(row.instr);
     }
     table.note("Lemma 16: step-1 claims are always accepted (generation); "
                "step >= 2 needs a real Byzantine chain of min(step, k). At "
                "k=3 and random placement, chains of 3 are rare and chains "
                "longer than 3 are never needed — catch rate jumps to ~1 at "
                "step >= 2 and stays there.");
-    analysis::emit(table);
+    ctx.emit(table);
   }
-  return 0;
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e09) {
+  ScenarioSpec spec;
+  spec.id = "e09";
+  spec.title = "Byzantine chains and the injection verifier";
+  spec.claim = "Observation 6 + Lemmas 15/16: chains >= k vanish for "
+               "k*delta > 1; step >= 2 injections are caught";
+  spec.grid = {{"delta", {"0.4", "0.5", "0.7"}},
+               {"inject_step", {"1", "2", "3", "4", "6"}},
+               pow2_axis(10, 14)};
+  spec.base_trials = 10;
+  spec.metrics = {"messages"};
+  spec.run = run_e09;
+  return spec;
 }

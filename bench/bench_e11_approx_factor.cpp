@@ -2,63 +2,103 @@
 // estimates (max/min over nodes and trials) against the analysis'
 // guaranteed band [a log n, b log n] with a = delta/(10 k log(d-1)) and
 // b = 4/log(1 + gamma/d) (gamma from the measured spectral gap).
-#include <iostream>
+#include <algorithm>
 
 #include "bench_common.hpp"
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+namespace {
 
-  const auto max_exp = analysis::env_max_exp(14);
-  const auto t = trials(3);
+using namespace byz;
+using namespace byz::bench;
+
+void run_e11(RunContext& ctx) {
+  const auto sizes = analysis::pow2_sizes(10, ctx.max_exp(14));
+  const auto t = ctx.trials(3);
+
+  struct Point {
+    std::uint32_t d;
+    graph::NodeId n;
+  };
+  std::vector<Point> grid;
+  for (const std::uint32_t d : {6u, 8u}) {
+    for (const auto n : sizes) grid.push_back({d, n});
+  }
+
+  struct Cell {
+    double min_ratio = 1e9;
+    double max_ratio = 0.0;
+    double a = 0.0;
+    double b = 0.0;
+  };
+  const auto cells = ctx.scheduler().map(grid.size(), [&](std::uint64_t i) {
+    const auto [d, n] = grid[i];
+    const double delta = d == 6 ? 0.7 : 0.5;
+    const auto overlay = ctx.overlay(n, d, 0xEB + n + d);
+    // gamma: edge-expansion lower bound from the measured spectral gap.
+    const auto spec = graph::second_eigenvalue(overlay->h(), 2000, 1e-10, 0xEB);
+    const double gamma = graph::cheeger_bounds(d, spec.lambda2).lower;
+    Cell cell;
+    for (std::uint32_t trial = 0; trial < t; ++trial) {
+      util::Xoshiro256 rng(util::mix_seed(0xEB2 + n, trial));
+      const auto byz = graph::random_byzantine_mask(
+          n, sim::derive_byz_count(n, delta), rng);
+      const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+      proto::ProtocolConfig cfg;
+      const auto run = proto::run_counting(*overlay, byz, *strat, cfg,
+                                           util::mix_seed(0xCB, trial));
+      const auto acc = proto::summarize_accuracy(run, n);
+      if (acc.decided > 0) {
+        cell.min_ratio = std::min(cell.min_ratio, acc.min_ratio);
+        cell.max_ratio = std::max(cell.max_ratio, acc.max_ratio);
+      }
+    }
+    cell.a = proto::factor_a(delta, overlay->k(), d);
+    cell.b = proto::factor_b(gamma, d);
+    return cell;
+  });
+
   util::Table table("E11: measured estimate band vs the analytic [a,b] band "
                     "(fake-color attack, " + std::to_string(t) + " trials)");
   table.columns({"n", "d", "delta", "min ratio", "max ratio", "spread",
                  "a (theory)", "b (theory)", "b/a (theory)"});
-  for (const std::uint32_t d : {6u, 8u}) {
-    const double delta = d == 6 ? 0.7 : 0.5;
-    for (const auto n : analysis::pow2_sizes(10, max_exp)) {
-      const auto overlay = make_overlay(n, d, 0xEB + n + d);
-      // gamma: edge-expansion lower bound from the measured spectral gap.
-      const auto spec =
-          graph::second_eigenvalue(overlay.h(), 2000, 1e-10, 0xEB);
-      const double gamma = graph::cheeger_bounds(d, spec.lambda2).lower;
-      double min_ratio = 1e9;
-      double max_ratio = 0.0;
-      for (std::uint32_t trial = 0; trial < t; ++trial) {
-        util::Xoshiro256 rng(util::mix_seed(0xEB2 + n, trial));
-        const auto byz = graph::random_byzantine_mask(
-            n, sim::derive_byz_count(n, delta), rng);
-        const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
-        proto::ProtocolConfig cfg;
-        const auto run = proto::run_counting(overlay, byz, *strat, cfg,
-                                             util::mix_seed(0xCB, trial));
-        const auto acc = proto::summarize_accuracy(run, n);
-        if (acc.decided > 0) {
-          min_ratio = std::min(min_ratio, acc.min_ratio);
-          max_ratio = std::max(max_ratio, acc.max_ratio);
-        }
-      }
-      const double a = proto::factor_a(delta, overlay.k(), d);
-      const double b = proto::factor_b(gamma, d);
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(d)
-          .cell(delta, 1)
-          .cell(min_ratio, 3)
-          .cell(max_ratio, 3)
-          .cell(max_ratio / (min_ratio > 0 ? min_ratio : 1.0), 2)
-          .cell(a, 4)
-          .cell(b, 1)
-          .cell(b / a, 0);
-    }
+  std::vector<double> spreads;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [d, n] = grid[i];
+    const auto& cell = cells[i];
+    const double spread =
+        cell.max_ratio / (cell.min_ratio > 0 ? cell.min_ratio : 1.0);
+    table.row()
+        .cell(std::uint64_t{n})
+        .cell(d)
+        .cell(d == 6 ? 0.7 : 0.5, 1)
+        .cell(cell.min_ratio, 3)
+        .cell(cell.max_ratio, 3)
+        .cell(spread, 2)
+        .cell(cell.a, 4)
+        .cell(cell.b, 1)
+        .cell(cell.b / cell.a, 0);
+    spreads.push_back(spread);
   }
   table.note("Theorem 1 guarantees ratios within [a, b]; the analysis' "
              "constants are loose by design (b/a in the thousands) while "
              "the measured spread stays within a small constant — the "
              "protocol is far better than its worst-case bound, and every "
              "measured ratio respects the band.");
-  analysis::emit(table);
-  return 0;
+  ctx.emit(table);
+  ctx.metric("measured_spread", bench_core::quantiles_json(spreads));
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e11) {
+  ScenarioSpec spec;
+  spec.id = "e11";
+  spec.title = "measured estimate band vs analytic [a,b]";
+  spec.claim = "Theorem 1: every measured ratio respects [a log n, b log n]; "
+               "measured spread is a small constant";
+  spec.grid = {{"d", {"6", "8"}}, pow2_axis(10, 14)};
+  spec.base_trials = 3;
+  spec.metrics = {"measured_spread"};
+  spec.run = run_e11;
+  return spec;
 }

@@ -2,11 +2,12 @@
 // (line 15) and the crash rule (line 2). Turning either off under the
 // matching attack collapses the guarantee, demonstrating both are
 // load-bearing (this is the basic-vs-Byzantine protocol delta of §3.3).
-#include <iostream>
-
 #include "bench_common.hpp"
 
 namespace {
+
+using namespace byz;
+using namespace byz::bench;
 
 struct Variant {
   const char* name;
@@ -14,53 +15,65 @@ struct Variant {
   bool crash_rule;
 };
 
-}  // namespace
+constexpr Variant kVariants[] = {
+    {"full Algorithm 2", true, true},
+    {"no verification", false, true},
+    {"no crash rule", true, false},
+    {"neither (Algorithm 1)", false, false},
+};
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+constexpr adv::StrategyKind kAttacks[] = {
+    adv::StrategyKind::kFakeColor,
+    adv::StrategyKind::kAdaptive,
+    adv::StrategyKind::kTopologyLiar,
+};
 
+void run_e12(RunContext& ctx) {
   const graph::NodeId n = 4096;
-  const Variant variants[] = {
-      {"full Algorithm 2", true, true},
-      {"no verification", false, true},
-      {"no crash rule", true, false},
-      {"neither (Algorithm 1)", false, false},
-  };
 
-  util::Table table("E12: ablation at n=4096 (d=8 delta=0.5 for color "
-                    "attacks; d=6 delta=0.7 for lie attacks)");
-  table.columns({"attack", "variant", "in-band frac", "mean est/log2n",
-                 "undecided %", "crashed %"});
-  for (const auto kind :
-       {adv::StrategyKind::kFakeColor, adv::StrategyKind::kAdaptive,
-        adv::StrategyKind::kTopologyLiar}) {
+  struct Cell {
+    proto::Accuracy acc;
+    sim::Instrumentation instr;
+  };
+  const auto units = std::size(kAttacks) * std::size(kVariants);
+  const auto cells = ctx.scheduler().map(units, [&](std::uint64_t u) {
+    const auto kind = kAttacks[u / std::size(kVariants)];
+    const auto& variant = kVariants[u % std::size(kVariants)];
     // Color attacks are sharpest at d=8 (k=3); lie-based attacks need the
     // d=6 regime for the crash asymptotics (DESIGN.md §3.5).
     const bool color_attack = kind == adv::StrategyKind::kFakeColor;
     const std::uint32_t d = color_attack ? 8 : 6;
     const double delta = color_attack ? 0.5 : 0.7;
-    const auto overlay = make_overlay(n, d, 0xEC + d);
+    const auto overlay = ctx.overlay(n, d, 0xEC + d);
     const auto byz = place_byz(n, delta, 0xEC + d);
-    for (const auto& variant : variants) {
-      const auto strat = adv::make_strategy(kind);
-      proto::ProtocolConfig cfg;
-      cfg.verification.enabled = variant.verification;
-      cfg.crash_rule = variant.crash_rule;
-      const auto run = proto::run_counting(overlay, byz, *strat, cfg, 0xCC);
-      const auto acc = proto::summarize_accuracy(run, n);
-      table.row()
-          .cell(adv::to_string(kind))
-          .cell(variant.name)
-          .cell(acc.frac_in_band, 4)
-          .cell(acc.mean_ratio, 3)
-          .cell(100.0 * static_cast<double>(acc.undecided) /
-                    static_cast<double>(acc.honest),
-                2)
-          .cell(100.0 * static_cast<double>(acc.crashed) /
-                    static_cast<double>(acc.honest),
-                2);
-    }
+    const auto strat = adv::make_strategy(kind);
+    proto::ProtocolConfig cfg;
+    cfg.verification.enabled = variant.verification;
+    cfg.crash_rule = variant.crash_rule;
+    const auto run = proto::run_counting(*overlay, byz, *strat, cfg, 0xCC);
+    return Cell{proto::summarize_accuracy(run, n), run.instr};
+  });
+
+  util::Table table("E12: ablation at n=4096 (d=8 delta=0.5 for color "
+                    "attacks; d=6 delta=0.7 for lie attacks)");
+  table.columns({"attack", "variant", "in-band frac", "mean est/log2n",
+                 "undecided %", "crashed %"});
+  for (std::size_t u = 0; u < units; ++u) {
+    const auto kind = kAttacks[u / std::size(kVariants)];
+    const auto& variant = kVariants[u % std::size(kVariants)];
+    const auto& acc = cells[u].acc;
+    table.row()
+        .cell(adv::to_string(kind))
+        .cell(variant.name)
+        .cell(acc.frac_in_band, 4)
+        .cell(acc.mean_ratio, 3)
+        .cell(100.0 * static_cast<double>(acc.undecided) /
+                  static_cast<double>(acc.honest),
+              2)
+        .cell(100.0 * static_cast<double>(acc.crashed) /
+                  static_cast<double>(acc.honest),
+              2);
+    ctx.count_messages(cells[u].instr);
   }
   table.note("Without verification, last-step injections stall every "
              "Byzantine neighborhood indefinitely (undecided%). Without "
@@ -68,6 +81,22 @@ int main() {
              "unexploited in this implementation's flooding (the lie's "
              "power is neutralized by Lemma 15 either way — the crash rule "
              "converts deception into clean failure).");
-  analysis::emit(table);
-  return 0;
+  ctx.emit(table);
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e12) {
+  ScenarioSpec spec;
+  spec.id = "e12";
+  spec.title = "ablation of verification and the crash rule";
+  spec.claim = "S3.3: both Algorithm-2 defenses are load-bearing under the "
+               "matching attack";
+  spec.grid = {{"attack", {"fake-color", "adaptive", "topology-liar"}},
+               {"variant", {"full", "no-verification", "no-crash-rule",
+                            "neither"}}};
+  spec.base_trials = 1;
+  spec.metrics = {"messages"};
+  spec.run = run_e12;
+  return spec;
 }

@@ -1,9 +1,11 @@
-// E14 — Engineering performance (google-benchmark): overlay construction,
-// the flood kernel, full protocol runs on both tiers, and OpenMP trial
-// throughput. Not a paper claim — this is the usual reference-vs-optimized
-// kernel discipline for the simulator itself.
-#include <benchmark/benchmark.h>
-#include <omp.h>
+// E14 — Engineering performance: overlay construction, the flood kernel,
+// full protocol runs on both tiers, and trial throughput through the
+// shared scheduler at 1..N workers. Not a paper claim — this is the
+// simulator's own perf trajectory, now emitted as BENCH_e14.json metrics
+// (ms/op medians) instead of a google-benchmark dependency.
+#include <algorithm>
+#include <functional>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -12,105 +14,158 @@ namespace {
 using namespace byz;
 using namespace byz::bench;
 
-void BM_OverlayBuild(benchmark::State& state) {
-  const auto n = static_cast<graph::NodeId>(state.range(0));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto overlay = make_overlay(n, 8, seed++);
-    benchmark::DoNotOptimize(overlay.g().num_edges());
+/// Runs `op` `reps` times and returns per-rep milliseconds.
+std::vector<double> time_reps(std::uint32_t reps,
+                              const std::function<void()>& op) {
+  std::vector<double> ms;
+  ms.reserve(reps);
+  for (std::uint32_t r = 0; r < reps; ++r) {
+    util::Timer timer;
+    op();
+    ms.push_back(timer.milliseconds());
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  return ms;
 }
-BENCHMARK(BM_OverlayBuild)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_FloodSubphase(benchmark::State& state) {
-  const auto n = static_cast<graph::NodeId>(state.range(0));
-  const auto overlay = make_overlay(n, 8, 42);
-  const std::vector<bool> byz(n, false);
-  const std::vector<bool> crashed(n, false);
-  const proto::Verifier verifier(overlay, byz, {});
-  proto::FloodWorkspace ws;
-  sim::Instrumentation instr;
-  std::vector<proto::Color> gen(n);
-  util::Xoshiro256 rng(7);
-  for (auto& c : gen) c = util::geometric_color(rng);
-  proto::FloodParams params;
-  params.steps = 6;
-  for (auto _ : state) {
-    proto::run_flood_subphase(overlay, byz, crashed, verifier, params, gen,
-                              {}, ws, instr);
-    benchmark::DoNotOptimize(ws.known.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * params.steps);
-}
-BENCHMARK(BM_FloodSubphase)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
-    ->Unit(benchmark::kMillisecond);
+void run_e14(RunContext& ctx) {
+  const auto reps = ctx.trials(5);
+  const auto max_exp = ctx.max_exp(16);
 
-void BM_Algo1FastPath(benchmark::State& state) {
-  const auto n = static_cast<graph::NodeId>(state.range(0));
-  const auto overlay = make_overlay(n, 8, 42);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto run = proto::run_basic_counting(overlay, seed++);
-    benchmark::DoNotOptimize(run.estimate.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_Algo1FastPath)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16)
-    ->Unit(benchmark::kMillisecond);
+  util::Table table("E14: kernel timings (median of " + std::to_string(reps) +
+                    " reps; wall-clock, machine-dependent)");
+  table.columns({"kernel", "n", "median ms", "min ms", "items/s"});
 
-void BM_Algo2FakeColor(benchmark::State& state) {
-  const auto n = static_cast<graph::NodeId>(state.range(0));
-  const auto overlay = make_overlay(n, 8, 42);
-  const auto byz = place_byz(n, 0.5, 99);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
-    proto::ProtocolConfig cfg;
-    auto run = proto::run_counting(overlay, byz, *strat, cfg, seed++);
-    benchmark::DoNotOptimize(run.estimate.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_Algo2FakeColor)->Arg(1 << 12)->Arg(1 << 14)
-    ->Unit(benchmark::kMillisecond);
+  auto report = [&](const std::string& kernel, graph::NodeId n,
+                    std::vector<double> ms, double items_per_rep) {
+    const double med = util::median(ms);
+    const double best = *std::min_element(ms.begin(), ms.end());
+    table.row()
+        .cell(kernel)
+        .cell(std::uint64_t{n})
+        .cell(med, 3)
+        .cell(best, 3)
+        .cell(med > 0 ? items_per_rep / (med / 1e3) : 0.0, 0);
+    Json j = Json::object();
+    j["n"] = std::uint64_t{n};
+    j["median_ms"] = med;
+    j["min_ms"] = best;
+    ctx.metric(kernel + "_n" + std::to_string(n), std::move(j));
+  };
 
-void BM_EngineReference(benchmark::State& state) {
-  const auto n = static_cast<graph::NodeId>(state.range(0));
-  const auto overlay = make_overlay(n, 6, 42);
-  const auto byz = place_byz(n, 0.7, 99);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
-    proto::ProtocolConfig cfg;
-    sim::Engine engine(overlay, byz, *strat, cfg, seed++);
-    auto run = engine.run();
-    benchmark::DoNotOptimize(run.estimate.data());
+  for (const auto n : analysis::pow2_sizes(12, std::min(max_exp, 16u))) {
+    std::uint64_t seed = 1;
+    report("overlay_build", n, time_reps(reps, [&] {
+             graph::OverlayParams params;
+             params.n = n;
+             params.d = 8;
+             params.seed = seed++;
+             const auto overlay = graph::Overlay::build(params);
+             (void)overlay.g().num_edges();
+           }),
+           static_cast<double>(n));
   }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_EngineReference)->Arg(1 << 10)->Arg(1 << 12)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_TrialThroughput(benchmark::State& state) {
-  const auto threads = static_cast<int>(state.range(0));
-  omp_set_num_threads(threads);
-  sim::TrialConfig cfg;
-  cfg.overlay.n = 1 << 12;
-  cfg.overlay.d = 8;
-  cfg.delta = 0.5;
-  cfg.strategy = adv::StrategyKind::kFakeColor;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    cfg.seed = seed++;
-    auto results = sim::run_trials(cfg, 16);
-    benchmark::DoNotOptimize(results.data());
+  for (const auto n : analysis::pow2_sizes(12, std::min(max_exp, 16u))) {
+    const auto overlay = ctx.overlay(n, 8, 42);
+    const std::vector<bool> byz(n, false);
+    const std::vector<bool> crashed(n, false);
+    const proto::Verifier verifier(*overlay, byz, {});
+    proto::FloodWorkspace ws;
+    sim::Instrumentation instr;
+    std::vector<proto::Color> gen(n);
+    util::Xoshiro256 rng(7);
+    for (auto& c : gen) c = util::geometric_color(rng);
+    proto::FloodParams params;
+    params.steps = 6;
+    report("flood_subphase", n, time_reps(reps, [&] {
+             proto::run_flood_subphase(*overlay, byz, crashed, verifier,
+                                       params, gen, {}, ws, instr);
+           }),
+           static_cast<double>(n) * params.steps);
   }
-  state.SetItemsProcessed(state.iterations() * 16);
-  state.counters["threads"] = threads;
+
+  for (const auto n : analysis::pow2_sizes(12, std::min(max_exp, 16u))) {
+    const auto overlay = ctx.overlay(n, 8, 42);
+    std::uint64_t seed = 1;
+    report("algo1_fastpath", n, time_reps(reps, [&] {
+             const auto run = proto::run_basic_counting(*overlay, seed++);
+             (void)run.estimate.size();
+           }),
+           static_cast<double>(n));
+  }
+
+  for (const auto n : analysis::pow2_sizes(12, std::min(max_exp, 14u))) {
+    const auto overlay = ctx.overlay(n, 8, 42);
+    const auto byz = place_byz(n, 0.5, 99);
+    std::uint64_t seed = 1;
+    report("algo2_fake_color", n, time_reps(reps, [&] {
+             const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+             proto::ProtocolConfig cfg;
+             const auto run = proto::run_counting(*overlay, byz, *strat, cfg,
+                                                  seed++);
+             (void)run.estimate.size();
+           }),
+           static_cast<double>(n));
+  }
+
+  for (const auto n : analysis::pow2_sizes(10, std::min(max_exp, 12u))) {
+    const auto overlay = ctx.overlay(n, 6, 42);
+    const auto byz = place_byz(n, 0.7, 99);
+    std::uint64_t seed = 1;
+    report("engine_reference", n, time_reps(reps, [&] {
+             const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+             proto::ProtocolConfig cfg;
+             sim::Engine engine(*overlay, byz, *strat, cfg, seed++);
+             const auto run = engine.run();
+             (void)run.estimate.size();
+           }),
+           static_cast<double>(n));
+  }
+
+  // Trial throughput through the shared scheduler: the same 16-trial batch
+  // at 1 worker and at the run's --jobs setting.
+  {
+    sim::TrialConfig cfg;
+    cfg.overlay.n = 1 << 12;
+    cfg.overlay.d = 8;
+    cfg.delta = 0.5;
+    cfg.strategy = adv::StrategyKind::kFakeColor;
+    cfg.seed = 1;
+    const std::uint32_t batch = 16;
+    for (const unsigned jobs : {1u, ctx.scheduler().jobs()}) {
+      const bench_core::TrialScheduler sched(jobs);
+      const auto ms = time_reps(std::max(1u, reps / 2), [&] {
+        const auto sweep = analysis::sweep_trials(cfg, batch, sched);
+        (void)sweep.results.size();
+      });
+      report("trial_throughput_j" + std::to_string(jobs), cfg.overlay.n,
+             ms, static_cast<double>(batch));
+      if (jobs == ctx.scheduler().jobs() && jobs == 1) break;
+    }
+  }
+
+  table.note("Wall-clock medians; absolute numbers are machine-dependent, "
+             "the JSON metrics track the trajectory across PRs. "
+             "trial_throughput_jN uses the shared work-stealing scheduler; "
+             "per-trial results are seed-derived and identical at any job "
+             "count.");
+  ctx.emit(table);
 }
-BENCHMARK(BM_TrialThroughput)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
-    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
+
+BYZBENCH_REGISTER(e14) {
+  ScenarioSpec spec;
+  spec.id = "e14";
+  spec.title = "kernel timings and scheduler throughput";
+  spec.claim = "engineering: overlay build, flood kernel, both protocol "
+               "tiers, and scheduler scaling tracked across PRs";
+  spec.grid = {{"kernel", {"overlay_build", "flood_subphase", "algo1_fastpath",
+                           "algo2_fake_color", "engine_reference",
+                           "trial_throughput"}},
+               pow2_axis(10, 16)};
+  spec.base_trials = 5;
+  spec.metrics = {"<kernel>_n<size>.median_ms"};
+  spec.run = run_e14;
+  return spec;
+}

@@ -3,53 +3,75 @@
 // (Observation 6); here the adversary also chooses where its nodes sit.
 // Chain placement defeats the Lemma-16 bound by construction; clustering
 // concentrates crash damage; spreading is weaker than random.
-#include <iostream>
-
 #include "bench_common.hpp"
 
-int main() {
-  using namespace byz;
-  using namespace byz::bench;
+namespace {
 
-  const auto max_exp = analysis::env_max_exp(13);
-  const auto t = trials(3);
+using namespace byz;
+using namespace byz::bench;
+
+void run_e15(RunContext& ctx) {
+  const auto sizes = analysis::pow2_sizes(10, ctx.max_exp(13));
+  const auto t = ctx.trials(3);
+  const auto placements = adv::all_placements();
+
+  struct Point {
+    graph::NodeId n;
+    adv::Placement placement;
+  };
+  std::vector<Point> grid;
+  for (const auto n : sizes) {
+    for (const auto placement : placements) grid.push_back({n, placement});
+  }
+
+  struct Cell {
+    analysis::AccuracyAggregate agg;
+    util::OnlineStats chain_stat;
+    util::OnlineStats accepted;
+    graph::NodeId b = 0;
+    sim::Instrumentation instr;
+  };
+  const auto cells = ctx.scheduler().map(grid.size(), [&](std::uint64_t i) {
+    const auto [n, placement] = grid[i];
+    Cell cell;
+    for (std::uint32_t trial = 0; trial < t; ++trial) {
+      const auto overlay = ctx.overlay(n, 8, util::mix_seed(0xEF + n, trial));
+      cell.b = sim::derive_byz_count(n, 0.5);
+      util::Xoshiro256 rng(util::mix_seed(0xEF2 + n, trial));
+      const auto byz = adv::place_byzantine(*overlay, cell.b, placement, rng);
+      cell.chain_stat.add(static_cast<double>(
+          graph::longest_byzantine_chain(overlay->h_simple(), byz, 32)));
+      const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
+      proto::ProtocolConfig cfg;
+      const auto run = proto::run_counting(*overlay, byz, *strat, cfg,
+                                           util::mix_seed(0xCF, trial));
+      cell.agg.add(proto::summarize_accuracy(run, n));
+      cell.accepted.add(static_cast<double>(run.instr.injections_accepted));
+      cell.instr.merge(run.instr);
+    }
+    return cell;
+  });
 
   util::Table table("E15: Byzantine placement strategies (d=8, k=3, "
                     "fake-color attack, delta=0.5, " + std::to_string(t) +
                     " trials)");
   table.columns({"n", "B", "placement", "max chain", "in-band frac",
                  "undecided %", "mean est/log2n", "inj accepted"});
-  for (const auto n : analysis::pow2_sizes(10, max_exp)) {
-    for (const auto placement : adv::all_placements()) {
-      analysis::AccuracyAggregate agg;
-      util::OnlineStats chain_stat;
-      util::OnlineStats accepted;
-      graph::NodeId b = 0;
-      for (std::uint32_t trial = 0; trial < t; ++trial) {
-        const auto overlay =
-            make_overlay(n, 8, util::mix_seed(0xEF + n, trial));
-        b = sim::derive_byz_count(n, 0.5);
-        util::Xoshiro256 rng(util::mix_seed(0xEF2 + n, trial));
-        const auto byz = adv::place_byzantine(overlay, b, placement, rng);
-        chain_stat.add(static_cast<double>(
-            graph::longest_byzantine_chain(overlay.h_simple(), byz, 32)));
-        const auto strat = adv::make_strategy(adv::StrategyKind::kFakeColor);
-        proto::ProtocolConfig cfg;
-        const auto run = proto::run_counting(overlay, byz, *strat, cfg,
-                                             util::mix_seed(0xCF, trial));
-        agg.add(proto::summarize_accuracy(run, n));
-        accepted.add(static_cast<double>(run.instr.injections_accepted));
-      }
-      table.row()
-          .cell(std::uint64_t{n})
-          .cell(std::uint64_t{b})
-          .cell(adv::to_string(placement))
-          .cell(chain_stat.max(), 0)
-          .cell(agg.frac_in_band.mean(), 4)
-          .cell(100.0 * agg.undecided_frac.mean(), 2)
-          .cell(agg.mean_ratio.mean(), 3)
-          .cell(accepted.mean(), 0);
-    }
+  std::vector<double> in_band;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [n, placement] = grid[i];
+    const auto& cell = cells[i];
+    table.row()
+        .cell(std::uint64_t{n})
+        .cell(std::uint64_t{cell.b})
+        .cell(adv::to_string(placement))
+        .cell(cell.chain_stat.max(), 0)
+        .cell(cell.agg.frac_in_band.mean(), 4)
+        .cell(100.0 * cell.agg.undecided_frac.mean(), 2)
+        .cell(cell.agg.mean_ratio.mean(), 3)
+        .cell(cell.accepted.mean(), 0);
+    in_band.push_back(cell.agg.frac_in_band.mean());
+    ctx.count_messages(cell.instr);
   }
   table.note("Chain placement manufactures Byzantine paths of length B >> k: "
              "last-step injections become acceptable near the chain and its "
@@ -57,6 +79,22 @@ int main() {
              "assumption, exactly as the paper's open problem suggests. "
              "Spread placement produces shorter chains than random and is "
              "the adversary's worst choice.");
-  analysis::emit(table);
-  return 0;
+  ctx.emit(table);
+  ctx.record_accuracy("in_band", in_band);
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e15) {
+  ScenarioSpec spec;
+  spec.id = "e15";
+  spec.title = "adversarial Byzantine placement";
+  spec.claim = "S4 open problem: chain placement defeats Observation 6; "
+               "random placement is a real assumption";
+  spec.grid = {{"placement", {"random", "clustered", "chain", "spread"}},
+               pow2_axis(10, 13)};
+  spec.base_trials = 3;
+  spec.metrics = {"messages", "accuracy.in_band"};
+  spec.run = run_e15;
+  return spec;
 }

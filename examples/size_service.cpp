@@ -5,11 +5,25 @@
 // attack every stage (fake colors during the protocol, inflated values
 // during smoothing).
 //
+// Runs --trials independent deployments through the shared bench_core
+// scheduler (seeds split per trial, results identical for any --jobs).
+//
 //   $ ./size_service [--n=16384] [--d=8] [--delta=0.5] [--seed=11]
+//                    [--trials=4] [--jobs=0]
 #include <cmath>
 #include <iostream>
 
 #include "byzcount.hpp"
+
+namespace {
+
+struct StageStats {
+  byz::util::OnlineStats ratio;
+  byz::util::OnlineStats spread;
+  byz::util::OnlineStats coverage;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace byz;
@@ -18,65 +32,108 @@ int main(int argc, char** argv) {
   args.add_option("n", "network size", "16384");
   args.add_option("d", "H-degree", "8");
   args.add_option("delta", "Byzantine exponent", "0.5");
-  args.add_option("seed", "trial seed", "11");
-  if (!args.parse(argc, argv)) return 0;
+  args.add_option("seed", "trial-series seed", "11");
+  args.add_option("trials", "independent deployments", "4");
+  args.add_option("jobs", "scheduler workers (0 = hardware)", "0");
 
-  const auto n = static_cast<graph::NodeId>(args.integer("n"));
-  const auto d = static_cast<std::uint32_t>(args.integer("d"));
-  const double delta = args.real("delta");
-  const auto seed = static_cast<std::uint64_t>(args.integer("seed"));
+  graph::NodeId n;
+  std::uint32_t d;
+  double delta;
+  std::uint64_t seed;
+  std::uint32_t trials;
+  unsigned jobs;
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    n = static_cast<graph::NodeId>(args.integer("n"));
+    d = static_cast<std::uint32_t>(args.integer("d"));
+    delta = args.real("delta");
+    seed = static_cast<std::uint64_t>(args.integer("seed"));
+    trials = static_cast<std::uint32_t>(args.integer("trials"));
+    jobs = static_cast<unsigned>(args.integer("jobs"));
+  } catch (const std::exception& e) {
+    std::cerr << "size_service: " << e.what() << "\n\n" << args.help();
+    return 2;
+  }
   const double truth = std::log2(static_cast<double>(n));
 
-  graph::OverlayParams params;
-  params.n = n;
-  params.d = d;
-  params.seed = seed;
-  const auto overlay = graph::Overlay::build(params);
-  util::Xoshiro256 rng(seed ^ 0xB12);
-  const auto byz =
-      graph::random_byzantine_mask(n, sim::derive_byz_count(n, delta), rng);
+  struct TrialOut {
+    proto::Accuracy raw;
+    proto::RefinedAccuracy refined;
+    proto::RefinedAccuracy smoothed;
+  };
+  const bench_core::TrialScheduler scheduler(jobs);
+  const auto outs = scheduler.map(trials, [&](std::uint64_t t) {
+    const auto trial_seed = bench_core::TrialScheduler::trial_seed(seed, t);
+    graph::OverlayParams params;
+    params.n = n;
+    params.d = d;
+    params.seed = trial_seed;
+    const auto overlay = graph::Overlay::build(params);
+    util::Xoshiro256 rng(trial_seed ^ 0xB12);
+    const auto byz =
+        graph::random_byzantine_mask(n, sim::derive_byz_count(n, delta), rng);
 
-  // Stage 1: Byzantine counting (Algorithm 2) under the fake-color attack.
-  const auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
-  proto::ProtocolConfig cfg;
-  const auto run = proto::run_counting(overlay, byz, *strategy, cfg, seed);
-  const auto raw = proto::summarize_accuracy(run, n);
+    // Stage 1: Byzantine counting (Algorithm 2) under the fake-color attack.
+    const auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
+    proto::ProtocolConfig cfg;
+    const auto run = proto::run_counting(overlay, byz, *strategy, cfg,
+                                         trial_seed);
+    TrialOut out;
+    out.raw = proto::summarize_accuracy(run, n);
 
-  // Stage 2: model-aware refinement l_{i*-2}.
-  const auto refined = proto::refine_run(run, d);
-  const auto racc = proto::summarize_refined(refined, byz, n);
+    // Stage 2: model-aware refinement l_{i*-2}.
+    const auto refined = proto::refine_run(run, d);
+    out.refined = proto::summarize_refined(refined, byz, n);
 
-  // Stage 3: median smoothing over direct channels; Byzantine neighbors
-  // respond with absurd inflation.
-  const auto smoothed = proto::smooth_estimates(overlay, byz, refined,
-                                                proto::EstimateLie::kInflate);
-  const auto sacc = proto::summarize_refined(smoothed, byz, n);
+    // Stage 3: median smoothing over direct channels; Byzantine neighbors
+    // respond with absurd inflation.
+    const auto smoothed = proto::smooth_estimates(overlay, byz, refined,
+                                                  proto::EstimateLie::kInflate);
+    out.smoothed = proto::summarize_refined(smoothed, byz, n);
+    return out;
+  });
+
+  StageStats raw, refined, smoothed;
+  for (const auto& out : outs) {
+    raw.ratio.add(out.raw.mean_ratio);
+    raw.coverage.add(100.0 * out.raw.frac_in_band);
+    refined.ratio.add(out.refined.mean_ratio);
+    refined.spread.add(out.refined.stddev_ratio);
+    refined.coverage.add(static_cast<double>(out.refined.with_estimate));
+    smoothed.ratio.add(out.smoothed.mean_ratio);
+    smoothed.spread.add(out.smoothed.stddev_ratio);
+    smoothed.coverage.add(static_cast<double>(out.smoothed.with_estimate));
+  }
 
   util::Table table("Size service pipeline (truth: log2 n = " +
                     util::format_double(truth, 2) + ", B = " +
-                    std::to_string(sim::derive_byz_count(n, delta)) + ")");
+                    std::to_string(sim::derive_byz_count(n, delta)) + ", " +
+                    std::to_string(trials) + " deployments, " +
+                    std::to_string(scheduler.jobs()) + " workers)");
   table.columns({"stage", "mean est (log2)", "ratio to truth", "spread (sd)",
                  "coverage"});
   table.row()
       .cell("1. Algorithm 2 phase i*")
-      .cell(raw.mean_ratio * truth, 2)
-      .cell(raw.mean_ratio, 3)
+      .cell(raw.ratio.mean() * truth, 2)
+      .cell(raw.ratio.mean(), 3)
       .cell("-")
-      .cell(util::format_double(100.0 * raw.frac_in_band, 1) + "% in band");
+      .cell(util::format_double(raw.coverage.mean(), 1) + "% in band");
   table.row()
       .cell("2. refined l_{i*-2}")
-      .cell(racc.mean_ratio * truth, 2)
-      .cell(racc.mean_ratio, 3)
-      .cell(racc.stddev_ratio, 3)
-      .cell(std::to_string(racc.with_estimate) + " nodes");
+      .cell(refined.ratio.mean() * truth, 2)
+      .cell(refined.ratio.mean(), 3)
+      .cell(refined.spread.mean(), 3)
+      .cell(util::format_double(refined.coverage.mean(), 0) + " nodes");
   table.row()
       .cell("3. median-smoothed")
-      .cell(sacc.mean_ratio * truth, 2)
-      .cell(sacc.mean_ratio, 3)
-      .cell(sacc.stddev_ratio, 3)
-      .cell(std::to_string(sacc.with_estimate) + " nodes");
+      .cell(smoothed.ratio.mean() * truth, 2)
+      .cell(smoothed.ratio.mean(), 3)
+      .cell(smoothed.spread.mean(), 3)
+      .cell(util::format_double(smoothed.coverage.mean(), 0) + " nodes");
   table.note("Stage 3's adversary: every Byzantine G-neighbor reports a 10^6 "
-             "estimate during smoothing; the neighborhood median ignores it.");
+             "estimate during smoothing; the neighborhood median ignores it. "
+             "Means are over " + std::to_string(trials) +
+             " seed-split deployments run on the shared trial scheduler.");
   std::cout << table;
   return 0;
 }

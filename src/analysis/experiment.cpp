@@ -39,4 +39,22 @@ void AccuracyAggregate::add(const proto::Accuracy& acc) {
   decided_frac.add(static_cast<double>(acc.decided) / honest);
 }
 
+TrialSweep sweep_trials(const sim::TrialConfig& cfg, std::uint32_t trials,
+                        const bench_core::TrialScheduler& scheduler) {
+  TrialSweep sweep;
+  sweep.results = scheduler.map(trials, [&](std::uint64_t t) {
+    sim::TrialConfig trial_cfg = cfg;
+    trial_cfg.seed = bench_core::TrialScheduler::trial_seed(cfg.seed, t);
+    return sim::run_trial(trial_cfg);
+  });
+  // Aggregation happens in trial order so the sweep is reproducible
+  // bit-for-bit regardless of which worker ran which trial.
+  for (const auto& r : sweep.results) {
+    sweep.aggregate.add(r.accuracy);
+    sweep.frac_in_band.push_back(r.accuracy.frac_in_band);
+    if (r.accuracy.decided > 0) sweep.mean_ratio.push_back(r.accuracy.mean_ratio);
+  }
+  return sweep;
+}
+
 }  // namespace byz::analysis

@@ -6,7 +6,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_core/scheduler.hpp"
 #include "protocols/estimate.hpp"
+#include "sim/runner.hpp"
 #include "util/stats.hpp"
 
 namespace byz::analysis {
@@ -33,5 +35,22 @@ struct AccuracyAggregate {
 
   void add(const proto::Accuracy& acc);
 };
+
+/// A Monte-Carlo sweep's raw and aggregated outcomes: the aggregate plus
+/// per-trial series (trial order = seed order, independent of --jobs).
+struct TrialSweep {
+  AccuracyAggregate aggregate;
+  std::vector<sim::TrialResult> results;   ///< ordered by trial index
+  std::vector<double> frac_in_band;        ///< per trial
+  std::vector<double> mean_ratio;          ///< per trial (decided > 0 only)
+};
+
+/// Runs `trials` independent repetitions of `cfg` through the shared
+/// bench_core scheduler, deriving per-trial seeds exactly like
+/// sim::run_trials (mix_seed(cfg.seed, t + 1)) — results are bitwise
+/// identical for every worker count.
+[[nodiscard]] TrialSweep sweep_trials(const sim::TrialConfig& cfg,
+                                      std::uint32_t trials,
+                                      const bench_core::TrialScheduler& scheduler);
 
 }  // namespace byz::analysis

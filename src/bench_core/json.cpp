@@ -1,0 +1,378 @@
+#include "bench_core/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace byz::bench_core {
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+std::size_t Json::size() const noexcept {
+  switch (kind_) {
+    case Kind::kArray:
+      return elements_.size();
+    case Kind::kObject:
+      return members_.size();
+    default:
+      return 0;
+  }
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::kArray || index >= elements_.size()) {
+    throw std::out_of_range("Json::at: bad array index");
+  }
+  return elements_[index];
+}
+
+void Json::push_back(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) throw std::logic_error("Json::push_back on non-array");
+  elements_.push_back(std::move(value));
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) throw std::logic_error("Json::operator[] on non-object");
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_number(std::string& out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null like most writers
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) {
+      out += probe;
+      return;
+    }
+  }
+  out += buf;
+}
+
+void write_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      write_number(out, num_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i != 0) out += indent > 0 ? "," : ", ";
+        write_indent(out, indent, depth + 1);
+        elements_[i].write(out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) out += indent > 0 ? "," : ", ";
+        write_indent(out, indent, depth + 1);
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += "\": ";
+        members_[i].second.write(out, indent, depth + 1);
+      }
+      write_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull:
+      return true;
+    case Json::Kind::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Kind::kNumber:
+      return a.num_ == b.num_;
+    case Json::Kind::kString:
+      return a.str_ == b.str_;
+    case Json::Kind::kArray:
+      return a.elements_ == b.elements_;
+    case Json::Kind::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json fail() {
+    failed = true;
+    return {};
+  }
+
+  Json parse_string() {
+    // Caller consumed the opening quote.
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Json(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail();
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail();
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // the bench schema never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail();
+      }
+    }
+    return fail();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) return fail();
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) return obj;
+      for (;;) {
+        if (!consume('"')) return fail();
+        Json key = parse_string();
+        if (failed) return {};
+        if (!consume(':')) return fail();
+        obj[key.as_string()] = parse_value(depth + 1);
+        if (failed) return {};
+        if (consume(',')) continue;
+        if (consume('}')) return obj;
+        return fail();
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) return arr;
+      for (;;) {
+        arr.push_back(parse_value(depth + 1));
+        if (failed) return {};
+        if (consume(',')) continue;
+        if (consume(']')) return arr;
+        return fail();
+      }
+    }
+    if (c == '"') {
+      ++pos;
+      return parse_string();
+    }
+    if (c == 't') return literal("true") ? Json(true) : fail();
+    if (c == 'f') return literal("false") ? Json(false) : fail();
+    if (c == 'n') return literal("null") ? Json(nullptr) : fail();
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           ((text[pos] >= '0' && text[pos] <= '9') || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E' || text[pos] == '-' ||
+            text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail();
+    double v = 0.0;
+    const std::string token(text.substr(start, pos - start));
+    if (std::sscanf(token.c_str(), "%lf", &v) != 1) return fail();
+    return Json(v);
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json value = p.parse_value(0);
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace byz::bench_core

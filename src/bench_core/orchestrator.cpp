@@ -1,0 +1,127 @@
+#include "bench_core/orchestrator.hpp"
+
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace byz::bench_core {
+
+namespace {
+
+/// Resident-overlay budget of the run-wide cache (LRU past this).
+constexpr std::uint64_t kCacheBytes = 1ull << 30;  // 1 GiB
+
+std::string grid_summary(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < spec.grid.size(); ++i) {
+    if (i != 0) os << " x ";
+    os << spec.grid[i].name << "(" << spec.grid[i].values.size() << ")";
+  }
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) os << ",";
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
+                                           const RunOptions& opts) {
+  const auto selected = registry.match(opts.filter);
+  const TrialScheduler scheduler(opts.jobs);
+  // Shared across scenarios so common (n, d, seed) grids build once, but
+  // bounded: a full run otherwise pins every overlay until process exit.
+  OverlayCache cache(kCacheBytes);
+
+  if (!opts.json_out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.json_out, ec);
+  }
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.reserve(selected.size());
+  for (const auto* spec : selected) {
+    ScenarioOutcome outcome;
+    outcome.id = spec->id;
+    RunContext ctx(*spec, opts, cache, scheduler);
+    const auto cache_before = cache.stats();
+    util::Timer timer;
+    try {
+      spec->run(ctx);
+      outcome.ok = true;
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown error";
+    }
+    outcome.wall_seconds = timer.seconds();
+
+    if (!opts.json_out.empty()) {
+      auto& doc = ctx.doc();
+      doc["wall_seconds"] = outcome.wall_seconds;
+      doc["ok"] = outcome.ok;
+      if (!outcome.ok) doc["error"] = outcome.error;
+      // Hits/misses are reported as this scenario's delta (the cache is
+      // shared across the run); entries/resident_bytes are the global
+      // snapshot after it finished.
+      const auto cache_stats = cache.stats();
+      Json cache_json = Json::object();
+      cache_json["hits"] = cache_stats.hits - cache_before.hits;
+      cache_json["misses"] = cache_stats.misses - cache_before.misses;
+      cache_json["entries"] = std::uint64_t{cache_stats.entries};
+      cache_json["resident_bytes"] = cache_stats.resident_bytes;
+      doc["overlay_cache"] = std::move(cache_json);
+
+      outcome.json_path = opts.json_out + "/BENCH_" + spec->id + ".json";
+      std::ofstream out(outcome.json_path);
+      if (out) {
+        out << doc.dump(2) << '\n';
+      } else {
+        outcome.ok = false;
+        outcome.error = "cannot write " + outcome.json_path;
+        outcome.json_path.clear();
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+std::string list_scenarios(const Registry& registry) {
+  util::Table table("byzbench scenarios");
+  table.columns({"id", "title", "trials", "grid", "metrics"});
+  for (const auto* spec : registry.all()) {
+    table.row()
+        .cell(spec->id)
+        .cell(spec->title)
+        .cell(spec->base_trials)
+        .cell(grid_summary(*spec))
+        .cell(join(spec->metrics));
+  }
+  return table.str();
+}
+
+std::string summarize_outcomes(const std::vector<ScenarioOutcome>& outcomes) {
+  util::Table table("byzbench run summary");
+  table.columns({"id", "status", "wall s", "json"});
+  for (const auto& o : outcomes) {
+    table.row()
+        .cell(o.id)
+        .cell(o.ok ? "ok" : ("FAILED: " + o.error))
+        .cell(o.wall_seconds, 2)
+        .cell(o.json_path.empty() ? "-" : o.json_path);
+  }
+  return table.str();
+}
+
+}  // namespace byz::bench_core

@@ -1,0 +1,86 @@
+#include "bench_core/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace byz::bench_core {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(ScenarioSpec spec) {
+  if (spec.id.empty()) throw std::invalid_argument("scenario id is empty");
+  if (!spec.run) {
+    throw std::invalid_argument("scenario '" + spec.id + "' has no run function");
+  }
+  if (find(spec.id) != nullptr) {
+    throw std::invalid_argument("duplicate scenario id '" + spec.id + "'");
+  }
+  scenarios_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* Registry::find(std::string_view id) const {
+  for (const auto& s : scenarios_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> Registry::all() const {
+  std::vector<const ScenarioSpec*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) { return a->id < b->id; });
+  return out;
+}
+
+std::vector<const ScenarioSpec*> Registry::match(std::string_view filter) const {
+  if (filter.empty()) return all();
+
+  std::vector<std::string> terms;
+  std::size_t start = 0;
+  while (start <= filter.size()) {
+    const std::size_t comma = filter.find(',', start);
+    const std::string_view term = filter.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    if (!term.empty()) terms.push_back(lower(term));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (terms.empty()) return all();
+
+  std::vector<const ScenarioSpec*> out;
+  for (const auto* s : all()) {
+    const std::string id = lower(s->id);
+    const std::string title = lower(s->title);
+    const bool hit = std::any_of(
+        terms.begin(), terms.end(), [&](const std::string& t) {
+          return id.find(t) != std::string::npos ||
+                 title.find(t) != std::string::npos;
+        });
+    if (hit) out.push_back(s);
+  }
+  return out;
+}
+
+ScenarioRegistration::ScenarioRegistration(ScenarioSpec spec) {
+  Registry::instance().add(std::move(spec));
+}
+
+}  // namespace byz::bench_core

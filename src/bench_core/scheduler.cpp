@@ -1,0 +1,53 @@
+#include "bench_core/scheduler.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace byz::bench_core {
+
+TrialScheduler::TrialScheduler(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+void TrialScheduler::for_each(
+    std::uint64_t count, const std::function<void(std::uint64_t)>& fn) const {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::uint64_t>(jobs_, count));
+  if (workers <= 1) {
+    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Drain the remaining items without running them.
+        cursor.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace byz::bench_core

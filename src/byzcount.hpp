@@ -21,6 +21,12 @@
 #include "baselines/flood_diameter.hpp"  // IWYU pragma: export
 #include "baselines/spanning_tree.hpp"   // IWYU pragma: export
 #include "baselines/support_estimation.hpp"  // IWYU pragma: export
+#include "bench_core/context.hpp"        // IWYU pragma: export
+#include "bench_core/json.hpp"           // IWYU pragma: export
+#include "bench_core/orchestrator.hpp"   // IWYU pragma: export
+#include "bench_core/overlay_cache.hpp"  // IWYU pragma: export
+#include "bench_core/registry.hpp"       // IWYU pragma: export
+#include "bench_core/scheduler.hpp"      // IWYU pragma: export
 #include "graph/bfs.hpp"                 // IWYU pragma: export
 #include "graph/categories.hpp"          // IWYU pragma: export
 #include "graph/connectivity.hpp"        // IWYU pragma: export

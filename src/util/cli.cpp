@@ -91,24 +91,30 @@ std::string ArgParser::str(std::string_view name) const {
 
 std::int64_t ArgParser::integer(std::string_view name) const {
   const std::string v = str(name);
-  std::size_t pos = 0;
-  const std::int64_t result = std::stoll(v, &pos);
-  if (pos != v.size()) {
+  // stoll throws its own terse invalid_argument/out_of_range on garbage;
+  // rethrow everything with the option name attached.
+  try {
+    std::size_t pos = 0;
+    const std::int64_t result = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    return result;
+  } catch (const std::exception&) {
     throw std::invalid_argument("option --" + std::string(name) +
                                 " expects an integer, got: " + v);
   }
-  return result;
 }
 
 double ArgParser::real(std::string_view name) const {
   const std::string v = str(name);
-  std::size_t pos = 0;
-  const double result = std::stod(v, &pos);
-  if (pos != v.size()) {
+  try {
+    std::size_t pos = 0;
+    const double result = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument("trailing characters");
+    return result;
+  } catch (const std::exception&) {
     throw std::invalid_argument("option --" + std::string(name) +
                                 " expects a real number, got: " + v);
   }
-  return result;
 }
 
 std::vector<std::int64_t> ArgParser::int_list(std::string_view name) const {
@@ -118,7 +124,16 @@ std::vector<std::int64_t> ArgParser::int_list(std::string_view name) const {
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item.empty()) continue;
-    out.push_back(std::stoll(item));
+    try {
+      std::size_t pos = 0;
+      const std::int64_t value = std::stoll(item, &pos);
+      if (pos != item.size()) throw std::invalid_argument("trailing characters");
+      out.push_back(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + std::string(name) +
+                                  " expects comma-separated integers, got: " +
+                                  v);
+    }
   }
   return out;
 }

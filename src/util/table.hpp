@@ -35,6 +35,19 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Structured accessors (the bench JSON emitter serializes tables).
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+  [[nodiscard]] const std::vector<std::string>& notes() const noexcept {
+    return notes_;
+  }
+
   /// Renders the aligned table.
   [[nodiscard]] std::string str() const;
   /// Renders as GitHub-flavoured markdown (for EXPERIMENTS.md capture).

@@ -1,0 +1,113 @@
+#include "bench_core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace byz::bench_core {
+namespace {
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::uint64_t{1} << 40).dump(), "1099511627776");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  ASSERT_EQ(j.members().size(), 2u);
+  EXPECT_EQ(j.members()[0].first, "zebra");
+  EXPECT_EQ(j.members()[1].first, "alpha");
+}
+
+TEST(Json, NestedAccess) {
+  Json j = Json::object();
+  j["metrics"]["accuracy"]["p50"] = 0.5;  // auto-vivifies objects
+  const auto* metrics = j.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto* accuracy = metrics->find("accuracy");
+  ASSERT_NE(accuracy, nullptr);
+  EXPECT_DOUBLE_EQ(accuracy->find("p50")->as_number(), 0.5);
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3")->as_number(), -2500.0);
+  EXPECT_EQ(Json::parse("\"x\\ny\"")->as_string(), "x\ny");
+  EXPECT_EQ(Json::parse("\"\\u0041\"")->as_string(), "A");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+}
+
+TEST(Json, RoundTripBenchSchema) {
+  // Representative BENCH_<exp>.json document.
+  Json doc = Json::object();
+  doc["schema"] = "byzbench/v1";
+  doc["experiment"] = "e07";
+  doc["scale"] = 0.1;
+  doc["jobs"] = 8;
+  doc["wall_seconds"] = 1.25;
+  Json table = Json::object();
+  table["title"] = "E7a";
+  table["columns"] = Json::array();
+  table["columns"].push_back("n");
+  table["columns"].push_back("tokens");
+  Json row = Json::array();
+  row.push_back("1024");
+  row.push_back("31744");
+  table["rows"] = Json::array();
+  table["rows"].push_back(std::move(row));
+  doc["tables"] = Json::array();
+  doc["tables"].push_back(std::move(table));
+  doc["metrics"]["messages"]["token_messages"] = std::uint64_t{31744};
+  doc["metrics"]["accuracy"]["in_band"]["p50"] = 0.9987;
+
+  for (const int indent : {0, 2}) {
+    const auto text = doc.dump(indent);
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    EXPECT_TRUE(*parsed == doc) << text;
+  }
+}
+
+TEST(Json, RoundTripPreservesDoubles) {
+  // The shortest-round-trip writer must preserve exact doubles.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02e23, -0.0, 1e-300}) {
+    const auto text = Json(v).dump();
+    const auto parsed = Json::parse(text);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->as_number(), v) << text;
+  }
+}
+
+TEST(Json, EqualityIsStructural) {
+  const auto a = Json::parse(R"({"x": [1, 2, {"y": true}]})");
+  const auto b = Json::parse(R"({ "x" : [ 1 , 2 , { "y" : true } ] })");
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(*a == *b);
+  const auto c = Json::parse(R"({"x": [1, 2, {"y": false}]})");
+  EXPECT_FALSE(*a == *c);
+}
+
+}  // namespace
+}  // namespace byz::bench_core

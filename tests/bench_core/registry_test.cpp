@@ -1,0 +1,190 @@
+#include "bench_core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bench_core/context.hpp"
+#include "bench_core/orchestrator.hpp"
+#include "util/table.hpp"
+
+namespace byz::bench_core {
+namespace {
+
+ScenarioSpec make_spec(std::string id, std::string title) {
+  ScenarioSpec spec;
+  spec.id = std::move(id);
+  spec.title = std::move(title);
+  spec.run = [](RunContext&) {};
+  return spec;
+}
+
+TEST(Registry, AddAndFind) {
+  Registry registry;
+  registry.add(make_spec("e01", "categories"));
+  registry.add(make_spec("e02", "expansion"));
+  ASSERT_NE(registry.find("e01"), nullptr);
+  EXPECT_EQ(registry.find("e01")->title, "categories");
+  EXPECT_EQ(registry.find("e99"), nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, RejectsDuplicatesAndInvalidSpecs) {
+  Registry registry;
+  registry.add(make_spec("e01", "categories"));
+  EXPECT_THROW(registry.add(make_spec("e01", "again")), std::invalid_argument);
+  EXPECT_THROW(registry.add(make_spec("", "anonymous")), std::invalid_argument);
+  ScenarioSpec no_run;
+  no_run.id = "e50";
+  EXPECT_THROW(registry.add(std::move(no_run)), std::invalid_argument);
+}
+
+TEST(Registry, AllIsSortedById) {
+  Registry registry;
+  registry.add(make_spec("e10", "ten"));
+  registry.add(make_spec("e02", "two"));
+  registry.add(make_spec("e07", "seven"));
+  const auto all = registry.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->id, "e02");
+  EXPECT_EQ(all[1]->id, "e07");
+  EXPECT_EQ(all[2]->id, "e10");
+}
+
+TEST(Registry, MatchFiltersByIdAndTitle) {
+  Registry registry;
+  registry.add(make_spec("e07", "message accounting"));
+  registry.add(make_spec("e08", "accuracy under attack"));
+  registry.add(make_spec("e14", "kernel timings"));
+
+  EXPECT_EQ(registry.match("").size(), 3u);           // empty = all
+  ASSERT_EQ(registry.match("e07").size(), 1u);
+  EXPECT_EQ(registry.match("e07")[0]->id, "e07");
+  ASSERT_EQ(registry.match("ACCURACY").size(), 1u);   // case-insensitive title
+  EXPECT_EQ(registry.match("ACCURACY")[0]->id, "e08");
+  EXPECT_EQ(registry.match("e07,e14").size(), 2u);    // comma = union
+  EXPECT_EQ(registry.match("nomatch").size(), 0u);
+  EXPECT_EQ(registry.match(",,").size(), 3u);         // degenerate = all
+}
+
+TEST(Registry, GlobalInstanceIsSingleton) {
+  EXPECT_EQ(&Registry::instance(), &Registry::instance());
+}
+
+TEST(Orchestrator, ListRendersEveryScenario) {
+  Registry registry;
+  auto spec = make_spec("e01", "categories");
+  spec.grid = {{"delta", {"0.5", "0.7"}}};
+  spec.metrics = {"safe_frac"};
+  registry.add(std::move(spec));
+  const auto listing = list_scenarios(registry);
+  EXPECT_NE(listing.find("e01"), std::string::npos);
+  EXPECT_NE(listing.find("categories"), std::string::npos);
+  EXPECT_NE(listing.find("delta(2)"), std::string::npos);
+  EXPECT_NE(listing.find("safe_frac"), std::string::npos);
+}
+
+/// A tiny deterministic scenario exercising tables + metrics + trials.
+ScenarioSpec synthetic_scenario() {
+  ScenarioSpec spec;
+  spec.id = "esynth";
+  spec.title = "synthetic orchestrator probe";
+  spec.base_trials = 4;
+  spec.run = [](RunContext& ctx) {
+    sim::TrialConfig cfg;
+    cfg.overlay.n = 256;
+    cfg.overlay.d = 6;
+    cfg.delta = 0.7;
+    cfg.seed = 11;
+    const auto results = ctx.run_trials(cfg, ctx.trials(4));
+    util::Table table("synthetic");
+    table.columns({"trial", "rounds"});
+    std::vector<double> ratios;
+    for (std::size_t t = 0; t < results.size(); ++t) {
+      table.row()
+          .cell(std::uint64_t{t})
+          .cell(results[t].run.flood_rounds);
+      ratios.push_back(results[t].accuracy.mean_ratio);
+    }
+    ctx.emit(table);
+    ctx.record_accuracy("ratio", ratios);
+  };
+  return spec;
+}
+
+Json run_synthetic(unsigned jobs, const std::string& dir) {
+  Registry registry;
+  registry.add(synthetic_scenario());
+  RunOptions opts;
+  opts.jobs = jobs;
+  opts.json_out = dir;
+  opts.quiet = true;
+  const auto outcomes = run_scenarios(registry, opts);
+  EXPECT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  std::ifstream in(dir + "/BENCH_esynth.json");
+  EXPECT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = Json::parse(buffer.str());
+  EXPECT_TRUE(parsed.has_value());
+  return parsed.value_or(Json());
+}
+
+TEST(Orchestrator, WritesSchemaValidJsonManifest) {
+  const auto doc = run_synthetic(2, ::testing::TempDir());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->as_string(), "byzbench/v1");
+  EXPECT_EQ(doc.find("experiment")->as_string(), "esynth");
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_GE(doc.find("wall_seconds")->as_number(), 0.0);
+  ASSERT_NE(doc.find("tables"), nullptr);
+  ASSERT_EQ(doc.find("tables")->size(), 1u);
+  const auto& table = doc.find("tables")->at(0);
+  EXPECT_EQ(table.find("title")->as_string(), "synthetic");
+  EXPECT_EQ(table.find("columns")->size(), 2u);
+  EXPECT_EQ(table.find("rows")->size(), 4u);
+  // run_trials auto-records message totals; record_accuracy adds quantiles.
+  const auto* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("messages"), nullptr);
+  EXPECT_GT(metrics->find("messages")->find("total_messages")->as_number(), 0.0);
+  const auto* ratio = metrics->find("accuracy")->find("ratio");
+  ASSERT_NE(ratio, nullptr);
+  EXPECT_EQ(ratio->find("count")->as_number(), 4.0);
+  // Cache stats are attached by the orchestrator.
+  ASSERT_NE(doc.find("overlay_cache"), nullptr);
+}
+
+TEST(Orchestrator, ResultsIdenticalAcrossJobCounts) {
+  // Everything except wall-time and worker count must match between a
+  // serial and a parallel run of the same scenario + seeds.
+  auto doc1 = run_synthetic(1, ::testing::TempDir());
+  auto doc8 = run_synthetic(8, ::testing::TempDir());
+  for (auto* doc : {&doc1, &doc8}) {
+    (*doc)["wall_seconds"] = 0;
+    (*doc)["jobs"] = 0;
+  }
+  EXPECT_TRUE(doc1 == doc8) << doc1.dump() << "\nvs\n" << doc8.dump();
+}
+
+TEST(Orchestrator, ReportsScenarioFailure) {
+  Registry registry;
+  auto spec = make_spec("eboom", "always throws");
+  spec.run = [](RunContext&) { throw std::runtime_error("kaput"); };
+  registry.add(std::move(spec));
+  RunOptions opts;
+  opts.quiet = true;
+  const auto outcomes = run_scenarios(registry, opts);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].error, "kaput");
+  const auto summary = summarize_outcomes(outcomes);
+  EXPECT_NE(summary.find("FAILED: kaput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace byz::bench_core
