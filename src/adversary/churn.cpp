@@ -1,0 +1,99 @@
+#include "adversary/churn.hpp"
+
+#include <algorithm>
+
+namespace byz::adv {
+
+namespace {
+
+using dynamics::MutableOverlay;
+using graph::NodeId;
+
+bool is_byz(const std::vector<bool>& byz, NodeId v) {
+  return v < byz.size() && byz[v];
+}
+
+/// Honest alive ids in stable-id order (the deterministic fallback pool);
+/// a plain id scan, no sort — this runs once per churn event.
+std::vector<NodeId> honest_alive(const MutableOverlay& overlay,
+                                 const std::vector<bool>& byz) {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < overlay.id_bound(); ++v) {
+    if (overlay.is_alive(v) && !is_byz(byz, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ChurnAdversary adversary) {
+  switch (adversary) {
+    case ChurnAdversary::kNone:
+      return "none";
+    case ChurnAdversary::kSybilBurst:
+      return "sybil-burst";
+    case ChurnAdversary::kTargetedDeparture:
+      return "targeted-departure";
+    case ChurnAdversary::kEclipse:
+      return "eclipse";
+  }
+  return "?";
+}
+
+std::vector<ChurnAdversary> all_churn_adversaries() {
+  return {ChurnAdversary::kNone, ChurnAdversary::kSybilBurst,
+          ChurnAdversary::kTargetedDeparture, ChurnAdversary::kEclipse};
+}
+
+graph::NodeId eclipse_victim(const MutableOverlay& overlay,
+                             const std::vector<bool>& byz) {
+  // First honest alive stable id; typically terminates within a few probes.
+  for (NodeId v = 0; v < overlay.id_bound(); ++v) {
+    if (overlay.is_alive(v) && !is_byz(byz, v)) return v;
+  }
+  return graph::kInvalidNode;
+}
+
+graph::NodeId pick_departure(const MutableOverlay& overlay,
+                             const std::vector<bool>& byz,
+                             ChurnAdversary adversary, util::Xoshiro256& rng) {
+  if (adversary != ChurnAdversary::kTargetedDeparture) {
+    return overlay.random_alive(rng);
+  }
+  // Honest ring-neighbors of alive Byzantine nodes, deduplicated in stable
+  // id order so the draw is independent of traversal incidentals.
+  std::vector<NodeId> targets;
+  for (NodeId b = 0; b < overlay.id_bound(); ++b) {
+    if (!overlay.is_alive(b) || !is_byz(byz, b)) continue;
+    for (std::uint32_t c = 0; c < overlay.num_cycles(); ++c) {
+      for (const NodeId w :
+           {overlay.successor(c, b), overlay.predecessor(c, b)}) {
+        if (!is_byz(byz, w)) targets.push_back(w);
+      }
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  if (targets.empty()) targets = honest_alive(overlay, byz);
+  if (targets.empty()) return overlay.random_alive(rng);
+  return targets[rng.below(targets.size())];
+}
+
+std::vector<graph::NodeId> plan_join_anchors(const MutableOverlay& overlay,
+                                             const std::vector<bool>& byz,
+                                             ChurnAdversary adversary,
+                                             bool joiner_byzantine,
+                                             util::Xoshiro256& rng) {
+  std::vector<NodeId> anchors(overlay.num_cycles());
+  if (joiner_byzantine && adversary == ChurnAdversary::kEclipse) {
+    const NodeId victim = eclipse_victim(overlay, byz);
+    if (victim != graph::kInvalidNode) {
+      std::fill(anchors.begin(), anchors.end(), victim);
+      return anchors;
+    }
+  }
+  for (auto& a : anchors) a = overlay.random_alive(rng);
+  return anchors;
+}
+
+}  // namespace byz::adv

@@ -1,0 +1,56 @@
+// Join-time adversary strategies for the dynamics subsystem. The static
+// strategies (strategies.hpp) attack a FROZEN topology through messages;
+// these attack the topology itself at the churn surface, the operational
+// threat model of real DHT deployments:
+//   * kSybilBurst        — the Byzantine join burst of a sybil attack: the
+//                          sybils splice randomly, so their damage is the
+//                          paper's random-placement model with a budget
+//                          that jumps mid-trace;
+//   * kTargetedDeparture — the adversary steers WHICH nodes leave: honest
+//                          ring-neighbors of Byzantine nodes, thickening
+//                          Byzantine chains and crash neighborhoods;
+//   * kEclipse           — joining Byzantine nodes anchor EVERY ring at one
+//                          victim, wrapping it in Byzantine direct
+//                          neighbors (the eclipse placement of the §4 open
+//                          problem, reached through legal joins).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamics/mutable_overlay.hpp"
+#include "util/rng.hpp"
+
+namespace byz::adv {
+
+enum class ChurnAdversary : std::uint8_t {
+  kNone,               ///< uniform departures, random splices (clean churn)
+  kSybilBurst,         ///< Byzantine joiners, random placement
+  kTargetedDeparture,  ///< departures target Byzantine ring-neighbors
+  kEclipse,            ///< Byzantine joiners wrap a victim in every ring
+};
+
+[[nodiscard]] const char* to_string(ChurnAdversary adversary);
+[[nodiscard]] std::vector<ChurnAdversary> all_churn_adversaries();
+
+/// The eclipse victim: the lowest-id alive honest node (deterministic, so
+/// the whole sybil burst piles onto one target). kInvalidNode if none.
+[[nodiscard]] graph::NodeId eclipse_victim(
+    const dynamics::MutableOverlay& overlay, const std::vector<bool>& byz);
+
+/// Picks the victim of one departure event. kTargetedDeparture picks an
+/// honest ring-neighbor of an alive Byzantine node when one exists (falling
+/// back to uniform honest); every other adversary departs uniformly over
+/// the alive set. `byz` is indexed by stable id.
+[[nodiscard]] graph::NodeId pick_departure(
+    const dynamics::MutableOverlay& overlay, const std::vector<bool>& byz,
+    ChurnAdversary adversary, util::Xoshiro256& rng);
+
+/// Ring anchors for one joining node (one per cycle). Honest joiners and
+/// non-eclipse Byzantine joiners splice uniformly at random; kEclipse
+/// Byzantine joiners anchor every ring at the eclipse victim.
+[[nodiscard]] std::vector<graph::NodeId> plan_join_anchors(
+    const dynamics::MutableOverlay& overlay, const std::vector<bool>& byz,
+    ChurnAdversary adversary, bool joiner_byzantine, util::Xoshiro256& rng);
+
+}  // namespace byz::adv

@@ -17,11 +17,14 @@ RunContext::RunContext(const ScenarioSpec& spec, const RunOptions& opts,
       scheduler_(scheduler),
       scale_(opts.scale * analysis::env_scale()),
       doc_(Json::object()) {
+  // Only DETERMINISTIC content goes into the BENCH_<exp>.json doc: the
+  // manifest must be bitwise identical for every --jobs value. Volatile run
+  // facts (worker count, wall-time, cache stats) go into the RUNMETA
+  // sidecar the orchestrator writes.
   doc_["schema"] = "byzbench/v1";
   doc_["experiment"] = spec.id;
   doc_["title"] = spec.title;
   doc_["scale"] = scale_;
-  doc_["jobs"] = std::uint64_t{scheduler.jobs()};
   doc_["tables"] = Json::array();
   doc_["metrics"] = Json::object();
 }

@@ -67,22 +67,35 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
     outcome.wall_seconds = timer.seconds();
 
     if (!opts.json_out.empty()) {
+      // The BENCH manifest carries only deterministic content — it is
+      // bitwise identical for every --jobs value (the contract the
+      // determinism tests and CI smoke pin down).
       auto& doc = ctx.doc();
-      doc["wall_seconds"] = outcome.wall_seconds;
       doc["ok"] = outcome.ok;
       if (!outcome.ok) doc["error"] = outcome.error;
-      // Hits/misses are reported as this scenario's delta (the cache is
-      // shared across the run); entries/resident_bytes are the global
-      // snapshot after it finished.
+
+      // Volatile run facts live in the RUNMETA sidecar: worker count,
+      // wall-time, and the overlay-cache stats. Hits/misses are reported
+      // as this scenario's delta (the cache is shared across the run);
+      // entries/resident_bytes are the global snapshot after it finished.
       const auto cache_stats = cache.stats();
       Json cache_json = Json::object();
       cache_json["hits"] = cache_stats.hits - cache_before.hits;
       cache_json["misses"] = cache_stats.misses - cache_before.misses;
       cache_json["entries"] = std::uint64_t{cache_stats.entries};
       cache_json["resident_bytes"] = cache_stats.resident_bytes;
-      doc["overlay_cache"] = std::move(cache_json);
+      Json meta = Json::object();
+      meta["schema"] = "byzbench/meta/v1";
+      meta["experiment"] = spec->id;
+      meta["jobs"] = std::uint64_t{scheduler.jobs()};
+      meta["wall_seconds"] = outcome.wall_seconds;
+      meta["ok"] = outcome.ok;
+      if (!outcome.ok) meta["error"] = outcome.error;
+      meta["overlay_cache"] = std::move(cache_json);
 
       outcome.json_path = opts.json_out + "/BENCH_" + spec->id + ".json";
+      const std::string meta_path =
+          opts.json_out + "/RUNMETA_" + spec->id + ".json";
       std::ofstream out(outcome.json_path);
       if (out) {
         out << doc.dump(2) << '\n';
@@ -90,6 +103,13 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
         outcome.ok = false;
         outcome.error = "cannot write " + outcome.json_path;
         outcome.json_path.clear();
+      }
+      std::ofstream meta_out(meta_path);
+      if (meta_out) {
+        meta_out << meta.dump(2) << '\n';
+      } else if (outcome.ok) {
+        outcome.ok = false;
+        outcome.error = "cannot write " + meta_path;
       }
     }
     outcomes.push_back(std::move(outcome));

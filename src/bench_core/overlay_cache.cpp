@@ -1,10 +1,17 @@
 #include "bench_core/overlay_cache.hpp"
 
+#include <stdexcept>
+
 namespace byz::bench_core {
 
 std::shared_ptr<const graph::Overlay> OverlayCache::get(
     const graph::OverlayParams& params) {
-  const Key key{params.n, params.d, params.k, params.seed};
+  if (params.generation != 0) {
+    throw std::invalid_argument(
+        "OverlayCache::get: generation != 0 keys identify dynamic snapshots, "
+        "which cannot be rebuilt from (n, d, seed); publish them with put()");
+  }
+  const Key key{params.n, params.d, params.k, params.seed, params.generation};
 
   std::promise<std::shared_ptr<const graph::Overlay>> promise;
   {
@@ -64,6 +71,34 @@ std::shared_ptr<const graph::Overlay> OverlayCache::get(graph::NodeId n,
   params.d = d;
   params.seed = seed;
   return get(params);
+}
+
+std::shared_ptr<const graph::Overlay> OverlayCache::put(
+    std::shared_ptr<const graph::Overlay> overlay) {
+  const auto& params = overlay->params();
+  if (params.generation == 0) {
+    throw std::invalid_argument(
+        "OverlayCache::put: generation == 0 keys are reserved for overlays "
+        "get() derives from (n, d, seed); publishing a hand-built overlay "
+        "under a static key would poison later lookups");
+  }
+  const Key key{params.n, params.d, params.k, params.seed, params.generation};
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    auto future = it->second.overlay;
+    lock.unlock();
+    return future.get();
+  }
+  std::promise<std::shared_ptr<const graph::Overlay>> promise;
+  promise.set_value(overlay);
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{promise.get_future().share(), lru_.begin(),
+                              overlay->memory_bytes()});
+  resident_bytes_ += overlay->memory_bytes();
+  evict_locked();
+  return overlay;
 }
 
 void OverlayCache::evict_locked() {

@@ -52,16 +52,21 @@ std::vector<const ScenarioSpec*> Registry::all() const {
 std::vector<const ScenarioSpec*> Registry::match(std::string_view filter) const {
   if (filter.empty()) return all();
 
+  // Terms separated by ',' or '|'; '*' is tolerated as a glob-style
+  // wildcard and stripped (terms already match as substrings), so shell
+  // habits like --filter 'e17*|e18*' do the expected thing.
   std::vector<std::string> terms;
   std::size_t start = 0;
   while (start <= filter.size()) {
-    const std::size_t comma = filter.find(',', start);
+    const std::size_t sep = filter.find_first_of(",|", start);
     const std::string_view term = filter.substr(
-        start, comma == std::string_view::npos ? std::string_view::npos
-                                               : comma - start);
-    if (!term.empty()) terms.push_back(lower(term));
-    if (comma == std::string_view::npos) break;
-    start = comma + 1;
+        start, sep == std::string_view::npos ? std::string_view::npos
+                                             : sep - start);
+    std::string cleaned = lower(term);
+    std::erase(cleaned, '*');
+    if (!cleaned.empty()) terms.push_back(std::move(cleaned));
+    if (sep == std::string_view::npos) break;
+    start = sep + 1;
   }
   if (terms.empty()) return all();
 

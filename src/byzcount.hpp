@@ -13,6 +13,7 @@
 //   proto::summarize_accuracy               — Theorem-1 style verdict
 #pragma once
 
+#include "adversary/churn.hpp"           // IWYU pragma: export
 #include "adversary/placement.hpp"       // IWYU pragma: export
 #include "adversary/strategies.hpp"      // IWYU pragma: export
 #include "analysis/experiment.hpp"       // IWYU pragma: export
@@ -27,6 +28,9 @@
 #include "bench_core/overlay_cache.hpp"  // IWYU pragma: export
 #include "bench_core/registry.hpp"       // IWYU pragma: export
 #include "bench_core/scheduler.hpp"      // IWYU pragma: export
+#include "dynamics/churn_trace.hpp"      // IWYU pragma: export
+#include "dynamics/epoch_driver.hpp"     // IWYU pragma: export
+#include "dynamics/mutable_overlay.hpp"  // IWYU pragma: export
 #include "graph/bfs.hpp"                 // IWYU pragma: export
 #include "graph/categories.hpp"          // IWYU pragma: export
 #include "graph/connectivity.hpp"        // IWYU pragma: export

@@ -1,0 +1,157 @@
+#include "dynamics/epoch_driver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/categories.hpp"
+#include "sim/engine.hpp"
+#include "sim/runner.hpp"
+
+namespace byz::dynamics {
+
+namespace {
+
+using graph::NodeId;
+
+/// Seed-stream tags (arbitrary distinct constants).
+constexpr std::uint64_t kOverlayStream = 0x0B00;
+constexpr std::uint64_t kPlacementStream = 0x0B12;
+constexpr std::uint64_t kChurnStream = 0xC002;
+constexpr std::uint64_t kColorStream = 0xE000;
+
+bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
+  if (a.status != b.status || a.estimate != b.estimate) return false;
+  if (a.phases_executed != b.phases_executed) return false;
+  if (a.flood_rounds != b.flood_rounds) return false;
+  const auto& ia = a.instr;
+  const auto& ib = b.instr;
+  return ia.setup_messages == ib.setup_messages &&
+         ia.token_messages == ib.token_messages &&
+         ia.verify_messages == ib.verify_messages &&
+         ia.injections_attempted == ib.injections_attempted &&
+         ia.injections_accepted == ib.injections_accepted &&
+         ia.injections_caught == ib.injections_caught &&
+         ia.crashes == ib.crashes;
+}
+
+}  // namespace
+
+ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
+  ChurnRunResult out;
+  out.trace = generate_trace(cfg.trace);
+
+  MutableOverlay overlay(cfg.trace.n0, cfg.d, cfg.k,
+                         util::mix_seed(cfg.seed, kOverlayStream));
+
+  // Initial Byzantine placement on the bootstrap ids (the paper's uniform
+  // model); the mask is indexed by STABLE id and grows with joins.
+  util::Xoshiro256 place_rng(util::mix_seed(cfg.seed, kPlacementStream));
+  std::vector<bool> byz = graph::random_byzantine_mask(
+      cfg.trace.n0, sim::derive_byz_count(cfg.trace.n0, cfg.delta), place_rng);
+
+  util::Xoshiro256 churn_rng(util::mix_seed(cfg.seed, kChurnStream));
+  // Last decided estimate per stable id (0 = none yet); feeds staleness.
+  std::vector<std::uint32_t> last_estimate(overlay.id_bound(), 0);
+
+  out.epochs.reserve(out.trace.epochs.size());
+  for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
+    const ChurnEpoch& epoch = out.trace.epochs[e];
+
+    // Joins first (honest, then sybil), then departures — the bookkeeping
+    // order generate_trace assumed when it clamped the counts.
+    for (std::uint32_t i = 0; i < epoch.joins; ++i) {
+      const auto anchors = adv::plan_join_anchors(
+          overlay, byz, cfg.churn_adversary, /*joiner_byzantine=*/false,
+          churn_rng);
+      overlay.join_at(anchors);
+      byz.push_back(false);
+    }
+    for (std::uint32_t i = 0; i < epoch.sybil_joins; ++i) {
+      const auto anchors = adv::plan_join_anchors(
+          overlay, byz, cfg.churn_adversary, /*joiner_byzantine=*/true,
+          churn_rng);
+      overlay.join_at(anchors);
+      byz.push_back(true);
+    }
+    for (std::uint32_t i = 0; i < epoch.leaves; ++i) {
+      overlay.leave(adv::pick_departure(overlay, byz, cfg.churn_adversary,
+                                        churn_rng));
+    }
+    if (overlay.num_alive() != epoch.n_after) {
+      throw std::logic_error("run_churn: replay diverged from trace n_after");
+    }
+    // Joiners have no previous estimate: grow the stable-id table BEFORE
+    // the staleness scan reads it.
+    last_estimate.resize(overlay.id_bound(), 0);
+
+    // Snapshot and re-estimate.
+    const auto snap = overlay.snapshot();
+    const NodeId n = snap.overlay.num_nodes();
+    std::vector<bool> dense_byz(n, false);
+    NodeId byz_alive = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (byz[snap.dense_to_stable[i]]) {
+        dense_byz[i] = true;
+        ++byz_alive;
+      }
+    }
+    const std::uint64_t color_seed =
+        util::mix_seed(cfg.seed, kColorStream + e);
+    auto strategy = adv::make_strategy(cfg.strategy);
+    const auto run = proto::run_counting(snap.overlay, dense_byz, *strategy,
+                                         cfg.protocol, color_seed);
+
+    EpochStats stats;
+    stats.n_true = n;
+    stats.byz_alive = byz_alive;
+    stats.joins = epoch.joins + epoch.sybil_joins;
+    stats.leaves = epoch.leaves;
+    stats.fresh =
+        proto::summarize_accuracy(run, n, cfg.band_lo, cfg.band_hi);
+    stats.messages = run.instr.total_messages();
+
+    // Staleness: judge the estimates honest survivors still carry from
+    // previous epochs against the CURRENT truth.
+    const double log_n = std::log2(static_cast<double>(n));
+    for (NodeId i = 0; i < n; ++i) {
+      if (dense_byz[i]) continue;
+      const std::uint32_t est = last_estimate[snap.dense_to_stable[i]];
+      if (est == 0) continue;
+      ++stats.stale_nodes;
+      const double ratio = static_cast<double>(est) / log_n;
+      if (ratio >= cfg.band_lo && ratio <= cfg.band_hi) ++stats.stale_in_band;
+    }
+    stats.stale_frac_in_band =
+        stats.stale_nodes == 0
+            ? 0.0
+            : static_cast<double>(stats.stale_in_band) /
+                  static_cast<double>(stats.stale_nodes);
+
+    if (cfg.run_engine) {
+      auto strategy2 = adv::make_strategy(cfg.strategy);
+      sim::Engine engine(snap.overlay, dense_byz, *strategy2, cfg.protocol,
+                         color_seed);
+      stats.engine_match = same_outcome(run, engine.run());
+    }
+
+    for (NodeId i = 0; i < n; ++i) {
+      if (run.status[i] == proto::NodeStatus::kDecided) {
+        last_estimate[snap.dense_to_stable[i]] = run.estimate[i];
+      }
+    }
+    out.epochs.push_back(stats);
+  }
+  return out;
+}
+
+std::int32_t recovery_epochs(const ChurnRunResult& result,
+                             std::uint32_t burst_epoch, double threshold) {
+  for (std::uint32_t e = burst_epoch; e < result.epochs.size(); ++e) {
+    if (result.epochs[e].fresh.frac_in_band >= threshold) {
+      return static_cast<std::int32_t>(e - burst_epoch);
+    }
+  }
+  return -1;
+}
+
+}  // namespace byz::dynamics

@@ -1,0 +1,73 @@
+// Epoch driver: replays a churn trace against a MutableOverlay and re-runs
+// the counting protocol on every epoch snapshot — the continuous-estimation
+// loop a long-running deployment would operate, versus the repo's one-shot
+// experiments. Per epoch it records fresh accuracy against the true n(t),
+// the STALENESS of the previous epoch's estimates (how wrong a node that
+// skips re-estimation becomes as the network drifts), and optionally runs
+// the message-level sim::Engine on the same snapshot to assert the two
+// protocol tiers still agree decision-for-decision under churn.
+//
+// Everything is derived from cfg.seed with SplitMix64 streams and replayed
+// sequentially, so a churn run is bitwise reproducible regardless of how
+// many scheduler workers fan out the surrounding trials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/strategies.hpp"
+#include "dynamics/churn_trace.hpp"
+#include "dynamics/mutable_overlay.hpp"
+#include "protocols/estimate.hpp"
+#include "protocols/fastpath.hpp"
+
+namespace byz::dynamics {
+
+struct ChurnRunConfig {
+  ChurnTraceParams trace;
+  std::uint32_t d = 8;
+  std::uint32_t k = 0;  ///< 0 = paper k
+  /// Initial Byzantine placement: floor(n0^(1-delta)) uniform nodes.
+  double delta = 0.7;
+  adv::StrategyKind strategy = adv::StrategyKind::kFakeColor;
+  adv::ChurnAdversary churn_adversary = adv::ChurnAdversary::kNone;
+  proto::ProtocolConfig protocol;
+  std::uint64_t seed = 1;
+  /// Also run the message-level Engine per snapshot and compare outcomes.
+  bool run_engine = false;
+  /// Accuracy band for est/log2(n(t)) (summarize_accuracy defaults).
+  double band_lo = 0.05;
+  double band_hi = 3.0;
+};
+
+struct EpochStats {
+  graph::NodeId n_true = 0;       ///< membership after this epoch's churn
+  graph::NodeId byz_alive = 0;
+  std::uint32_t joins = 0;        ///< honest + sybil arrivals applied
+  std::uint32_t leaves = 0;
+  proto::Accuracy fresh;          ///< this epoch's run, judged against n(t)
+  std::uint64_t stale_nodes = 0;  ///< honest survivors carrying a previous
+                                  ///< epoch's estimate
+  std::uint64_t stale_in_band = 0;
+  double stale_frac_in_band = 0.0;
+  std::uint64_t messages = 0;     ///< protocol messages this epoch
+  bool engine_match = true;       ///< engine == fastpath (when run_engine)
+};
+
+struct ChurnRunResult {
+  ChurnTrace trace;
+  std::vector<EpochStats> epochs;
+};
+
+/// Replays cfg.trace and runs estimation on every epoch snapshot.
+[[nodiscard]] ChurnRunResult run_churn(const ChurnRunConfig& cfg);
+
+/// Epochs the fresh in-band fraction needs to climb back to >= threshold
+/// from `burst_epoch` on: 0 = already recovered at the burst epoch itself,
+/// -1 = never within the trace.
+[[nodiscard]] std::int32_t recovery_epochs(const ChurnRunResult& result,
+                                           std::uint32_t burst_epoch,
+                                           double threshold = 0.9);
+
+}  // namespace byz::dynamics

@@ -12,13 +12,23 @@
 namespace byz::graph {
 
 Overlay Overlay::build(const OverlayParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  return build_from_h(params, build_hamiltonian_graph(params.n, params.d, rng));
+}
+
+Overlay Overlay::build_from_h(const OverlayParams& params, Graph h) {
   Overlay o;
   o.params_ = params;
   o.k_ = params.k == 0 ? paper_k(params.d) : params.k;
   if (o.k_ == 0) throw std::invalid_argument("Overlay: k must be >= 1");
+  if (h.num_nodes() != params.n) {
+    throw std::invalid_argument("Overlay: H node count != params.n");
+  }
+  if (!h.is_regular(params.d)) {
+    throw std::invalid_argument("Overlay: H is not d-regular");
+  }
 
-  util::Xoshiro256 rng(params.seed);
-  o.h_ = build_hamiltonian_graph(params.n, params.d, rng);
+  o.h_ = std::move(h);
   o.h_simple_ = simplify(o.h_);
 
   const NodeId n = params.n;

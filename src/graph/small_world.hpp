@@ -18,6 +18,11 @@ struct OverlayParams {
   std::uint32_t d = 8;       ///< H-degree; even, >= 4
   std::uint32_t k = 0;       ///< L-radius; 0 means the paper's ceil(d/3)
   std::uint64_t seed = 1;    ///< drives the H(n,d) sample
+  /// Topology build tag: 0 = the static H(n,d) sample determined by `seed`;
+  /// dynamics::MutableOverlay snapshots stamp their (nonzero) mutation
+  /// generation here, so caches keyed on the full params can never alias an
+  /// epoch snapshot with the static overlay of the same (n, d, seed).
+  std::uint64_t generation = 0;
 };
 
 /// Distance value meaning "w is not within v's k-ball".
@@ -30,6 +35,14 @@ class Overlay {
   /// Samples H(n,d) and materializes G. Cost: one bounded BFS per node
   /// (OpenMP-parallel); memory O(n * (d-1)^k).
   [[nodiscard]] static Overlay build(const OverlayParams& params);
+
+  /// Materializes G over a caller-supplied H multigraph (must be an exactly
+  /// d-regular multigraph on params.n nodes; parallel edges allowed). Used
+  /// by dynamics::MutableOverlay to turn an epoch's cycle state into the
+  /// immutable overlay the protocols run on; params.seed/generation are
+  /// recorded as provenance, not re-sampled.
+  [[nodiscard]] static Overlay build_from_h(const OverlayParams& params,
+                                            Graph h);
 
   [[nodiscard]] const OverlayParams& params() const noexcept { return params_; }
   [[nodiscard]] std::uint32_t k() const noexcept { return k_; }

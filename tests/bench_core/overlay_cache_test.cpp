@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "dynamics/mutable_overlay.hpp"
 
 namespace byz::bench_core {
 namespace {
@@ -56,7 +60,8 @@ TEST(OverlayCache, ConcurrentSameKeyBuildsOnce) {
     std::vector<std::thread> threads;
     threads.reserve(kThreads);
     for (int t = 0; t < kThreads; ++t) {
-      threads.emplace_back([&cache, &seen, t] { seen[t] = cache.get(512, 6, 7); });
+      threads.emplace_back(
+          [&cache, &seen, t] { seen[t] = cache.get(512, 6, 7); });
     }
     for (auto& th : threads) th.join();
   }
@@ -80,6 +85,47 @@ TEST(OverlayCache, EvictsLeastRecentlyUsedPastByteBound) {
   const auto a2 = cache.get(256, 6, 1);
   EXPECT_EQ(a2->num_nodes(), 256u);
   EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(OverlayCache, SnapshotGenerationNeverAliasesTheStaticKey) {
+  // The collision scenario the generation tag exists for: a dynamic epoch
+  // snapshot carries the same (n, d, seed) as the static sample it evolved
+  // from, but MUST occupy a distinct cache entry.
+  OverlayCache cache;
+  constexpr graph::NodeId kN = 96;
+  const std::uint64_t seed = 42;
+
+  dynamics::MutableOverlay dyn(kN, 6, 0, seed);
+  util::Xoshiro256 rng(7);
+  // One join + one leave: back to n = 96 with the SAME (n, d, seed) as the
+  // static build but a different edge set.
+  const auto joined = dyn.join(rng);
+  dyn.leave(joined - 1);
+  auto snap = dyn.snapshot();
+  ASSERT_EQ(snap.overlay.num_nodes(), kN);
+  ASSERT_NE(snap.overlay.params().generation, 0u);
+
+  const auto published = cache.put(std::make_shared<const graph::Overlay>(
+      std::move(snap.overlay)));
+  const auto static_overlay = cache.get(kN, 6, seed);
+  EXPECT_NE(published.get(), static_overlay.get());
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // Publishing the same snapshot key again: the resident entry wins.
+  const auto again = cache.put(published);
+  EXPECT_EQ(again.get(), published.get());
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  // get() refuses to fabricate a snapshot from a generation-tagged key,
+  // and put() refuses to poison a static key with a hand-built overlay.
+  EXPECT_THROW((void)cache.get(published->params()), std::invalid_argument);
+  graph::OverlayParams static_params;
+  static_params.n = kN;
+  static_params.d = 6;
+  static_params.seed = seed;
+  EXPECT_THROW((void)cache.put(std::make_shared<const graph::Overlay>(
+                   graph::Overlay::build(static_params))),
+               std::invalid_argument);
 }
 
 TEST(OverlayCache, ClearDropsEntries) {

@@ -70,6 +70,22 @@ TEST(Registry, MatchFiltersByIdAndTitle) {
   EXPECT_EQ(registry.match(",,").size(), 3u);         // degenerate = all
 }
 
+TEST(Registry, MatchAcceptsPipeSeparatorsAndGlobStars) {
+  Registry registry;
+  registry.add(make_spec("e17", "steady churn"));
+  registry.add(make_spec("e18", "burst recovery"));
+  registry.add(make_spec("e19", "sybil joins"));
+
+  // The CI smoke invocation style: shell-glob habits must keep working.
+  const auto hits = registry.match("e17*|e18*|e19*");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0]->id, "e17");
+  EXPECT_EQ(hits[2]->id, "e19");
+  EXPECT_EQ(registry.match("e17|e19").size(), 2u);
+  EXPECT_EQ(registry.match("*churn*").size(), 1u);   // stars stripped
+  EXPECT_EQ(registry.match("||,|").size(), 3u);      // degenerate = all
+}
+
 TEST(Registry, GlobalInstanceIsSingleton) {
   EXPECT_EQ(&Registry::instance(), &Registry::instance());
 }
@@ -115,7 +131,7 @@ ScenarioSpec synthetic_scenario() {
   return spec;
 }
 
-Json run_synthetic(unsigned jobs, const std::string& dir) {
+std::string run_synthetic_raw(unsigned jobs, const std::string& dir) {
   Registry registry;
   registry.add(synthetic_scenario());
   RunOptions opts;
@@ -129,18 +145,22 @@ Json run_synthetic(unsigned jobs, const std::string& dir) {
   EXPECT_TRUE(in.good());
   std::stringstream buffer;
   buffer << in.rdbuf();
-  auto parsed = Json::parse(buffer.str());
+  return buffer.str();
+}
+
+Json run_synthetic(unsigned jobs, const std::string& dir) {
+  auto parsed = Json::parse(run_synthetic_raw(jobs, dir));
   EXPECT_TRUE(parsed.has_value());
   return parsed.value_or(Json());
 }
 
 TEST(Orchestrator, WritesSchemaValidJsonManifest) {
-  const auto doc = run_synthetic(2, ::testing::TempDir());
+  const std::string dir = ::testing::TempDir();
+  const auto doc = run_synthetic(2, dir);
   ASSERT_TRUE(doc.is_object());
   EXPECT_EQ(doc.find("schema")->as_string(), "byzbench/v1");
   EXPECT_EQ(doc.find("experiment")->as_string(), "esynth");
   EXPECT_TRUE(doc.find("ok")->as_bool());
-  EXPECT_GE(doc.find("wall_seconds")->as_number(), 0.0);
   ASSERT_NE(doc.find("tables"), nullptr);
   ASSERT_EQ(doc.find("tables")->size(), 1u);
   const auto& table = doc.find("tables")->at(0);
@@ -155,20 +175,29 @@ TEST(Orchestrator, WritesSchemaValidJsonManifest) {
   const auto* ratio = metrics->find("accuracy")->find("ratio");
   ASSERT_NE(ratio, nullptr);
   EXPECT_EQ(ratio->find("count")->as_number(), 4.0);
-  // Cache stats are attached by the orchestrator.
-  ASSERT_NE(doc.find("overlay_cache"), nullptr);
+  // Volatile facts (jobs, wall-time, cache stats) live in the RUNMETA
+  // sidecar, never in the BENCH manifest.
+  EXPECT_EQ(doc.find("wall_seconds"), nullptr);
+  EXPECT_EQ(doc.find("jobs"), nullptr);
+  EXPECT_EQ(doc.find("overlay_cache"), nullptr);
+  std::ifstream meta_in(dir + "/RUNMETA_esynth.json");
+  ASSERT_TRUE(meta_in.good());
+  std::stringstream meta_buf;
+  meta_buf << meta_in.rdbuf();
+  const auto meta = Json::parse(meta_buf.str()).value_or(Json());
+  ASSERT_TRUE(meta.is_object());
+  EXPECT_EQ(meta.find("schema")->as_string(), "byzbench/meta/v1");
+  EXPECT_EQ(meta.find("jobs")->as_number(), 2.0);
+  EXPECT_GE(meta.find("wall_seconds")->as_number(), 0.0);
+  ASSERT_NE(meta.find("overlay_cache"), nullptr);
 }
 
-TEST(Orchestrator, ResultsIdenticalAcrossJobCounts) {
-  // Everything except wall-time and worker count must match between a
-  // serial and a parallel run of the same scenario + seeds.
-  auto doc1 = run_synthetic(1, ::testing::TempDir());
-  auto doc8 = run_synthetic(8, ::testing::TempDir());
-  for (auto* doc : {&doc1, &doc8}) {
-    (*doc)["wall_seconds"] = 0;
-    (*doc)["jobs"] = 0;
-  }
-  EXPECT_TRUE(doc1 == doc8) << doc1.dump() << "\nvs\n" << doc8.dump();
+TEST(Orchestrator, ManifestsBitwiseIdenticalAcrossJobCounts) {
+  // The whole BENCH manifest — byte for byte — must match between a serial
+  // and a parallel run of the same scenario + seeds.
+  const auto raw1 = run_synthetic_raw(1, ::testing::TempDir());
+  const auto raw8 = run_synthetic_raw(8, ::testing::TempDir());
+  EXPECT_EQ(raw1, raw8);
 }
 
 TEST(Orchestrator, ReportsScenarioFailure) {

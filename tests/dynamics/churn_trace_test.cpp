@@ -1,0 +1,126 @@
+// The churn-trace generator: bitwise determinism, membership bookkeeping,
+// and the burst/sybil models.
+#include "dynamics/churn_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace byz::dynamics {
+namespace {
+
+TEST(ChurnTrace, GenerationIsDeterministic) {
+  ChurnTraceParams params;
+  params.n0 = 512;
+  params.epochs = 20;
+  params.arrival_rate = 9.0;
+  params.departure_rate = 7.0;
+  params.seed = 1234;
+  const auto a = generate_trace(params);
+  const auto b = generate_trace(params);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e], b.epochs[e]) << "epoch " << e;
+  }
+
+  params.seed = 1235;  // a different stream actually changes the trace
+  const auto c = generate_trace(params);
+  bool any_diff = false;
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    any_diff = any_diff || !(a.epochs[e] == c.epochs[e]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ChurnTrace, MembershipBookkeepingBalances) {
+  ChurnTraceParams params;
+  params.n0 = 256;
+  params.epochs = 40;
+  params.arrival_rate = 6.0;
+  params.departure_rate = 10.0;  // net shrink: exercises the floor
+  params.min_n = 128;
+  params.seed = 7;
+  const auto trace = generate_trace(params);
+  graph::NodeId n = params.n0;
+  for (const auto& epoch : trace.epochs) {
+    const graph::NodeId expected =
+        n + epoch.joins + epoch.sybil_joins - epoch.leaves;
+    EXPECT_EQ(epoch.n_after, expected);
+    EXPECT_GE(epoch.n_after, params.min_n);
+    n = epoch.n_after;
+  }
+}
+
+TEST(ChurnTrace, BurstModelDrainsAtTheBurstEpoch) {
+  ChurnTraceParams params;
+  params.n0 = 1000;
+  params.epochs = 8;
+  params.arrival_rate = 2.0;
+  params.departure_rate = 2.0;
+  params.model = ChurnModel::kBurst;
+  params.burst_epoch = 3;
+  params.burst_fraction = 0.3;
+  params.min_n = 100;
+  params.seed = 11;
+  const auto trace = generate_trace(params);
+  // ~30% of the pre-burst membership leaves at the burst epoch.
+  EXPECT_GE(trace.epochs[3].leaves, 250u);
+  EXPECT_EQ(trace.epochs[3].sybil_joins, 0u);
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    if (e == 3) continue;
+    EXPECT_LT(trace.epochs[e].leaves, 20u) << "epoch " << e;
+  }
+}
+
+TEST(ChurnTrace, SybilModelInjectsByzantineJoinsOnlyAtTheBurst) {
+  ChurnTraceParams params;
+  params.n0 = 1000;
+  params.epochs = 8;
+  params.arrival_rate = 2.0;
+  params.departure_rate = 2.0;
+  params.model = ChurnModel::kSybilJoin;
+  params.burst_epoch = 2;
+  params.burst_fraction = 0.2;
+  params.seed = 13;
+  const auto trace = generate_trace(params);
+  EXPECT_GE(trace.epochs[2].sybil_joins, 150u);
+  for (std::uint32_t e = 0; e < params.epochs; ++e) {
+    if (e == 2) continue;
+    EXPECT_EQ(trace.epochs[e].sybil_joins, 0u) << "epoch " << e;
+  }
+}
+
+TEST(ChurnTrace, PoissonSanity) {
+  util::Xoshiro256 rng(21);
+  EXPECT_EQ(poisson(rng, 0.0), 0u);
+  EXPECT_EQ(poisson(rng, -3.0), 0u);
+  double sum = 0.0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) sum += poisson(rng, 12.0);
+  EXPECT_NEAR(sum / kDraws, 12.0, 0.5);
+
+  // Large means take the normal-approximation branch; the mean AND the
+  // variance must still track Poisson(lambda).
+  double big_sum = 0.0;
+  double big_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = poisson(rng, 512.0);
+    big_sum += x;
+    big_sq += x * x;
+  }
+  const double big_mean = big_sum / kDraws;
+  const double big_var = big_sq / kDraws - big_mean * big_mean;
+  EXPECT_NEAR(big_mean, 512.0, 3.0);
+  EXPECT_NEAR(big_var, 512.0, 80.0);
+}
+
+TEST(ChurnTrace, RejectsTinyBootstrap) {
+  ChurnTraceParams params;
+  params.n0 = 3;
+  EXPECT_THROW((void)generate_trace(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byz::dynamics
