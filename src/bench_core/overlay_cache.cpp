@@ -57,7 +57,7 @@ std::shared_ptr<const graph::Overlay> OverlayCache::get(
     if (it != entries_.end()) {
       it->second.bytes = overlay->memory_bytes();
       resident_bytes_ += it->second.bytes;
-      evict_locked();
+      evict_locked(key);
     }
   }
   return overlay;
@@ -97,20 +97,42 @@ std::shared_ptr<const graph::Overlay> OverlayCache::put(
   entries_.emplace(key, Entry{promise.get_future().share(), lru_.begin(),
                               overlay->memory_bytes()});
   resident_bytes_ += overlay->memory_bytes();
-  evict_locked();
+  evict_locked(key);
   return overlay;
 }
 
-void OverlayCache::evict_locked() {
+void OverlayCache::evict_locked(const Key& incoming) {
   if (max_bytes_ == 0) return;
   while (resident_bytes_ > max_bytes_ && lru_.size() > 1) {
-    const Key victim = lru_.back();
-    auto it = entries_.find(victim);
+    // Generation-aware policy: epoch snapshots of one evolving overlay
+    // (same d/k/seed, generation != 0) supersede each other, while static
+    // samples are shared across scenario grids — so retire the
+    // least-recently-used SNAPSHOT of the incoming entry's own family
+    // (snapshots are published in epoch order, so LRU-oldest is the oldest
+    // generation) before touching unrelated entries.
+    auto victim_pos = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (*it != incoming && it->generation != 0 && it->d == incoming.d &&
+          it->k == incoming.k && it->seed == incoming.seed) {
+        const auto entry = entries_.find(*it);
+        // Entries still building (bytes unknown) are not evictable.
+        if (entry != entries_.end() && entry->second.bytes != 0) {
+          victim_pos = it;
+          break;
+        }
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim_pos == lru_.end()) {
+      victim_pos = std::prev(lru_.end());
+      if (*victim_pos == incoming) break;
+    }
+    auto it = entries_.find(*victim_pos);
     // Never evict an entry that is still building (bytes unknown).
     if (it == entries_.end() || it->second.bytes == 0) break;
     resident_bytes_ -= it->second.bytes;
     entries_.erase(it);
-    lru_.pop_back();
+    lru_.erase(victim_pos);
     ++evictions_;
   }
 }

@@ -72,7 +72,7 @@ class OverlayCache {
     std::uint64_t bytes = 0;  ///< 0 until the build completes
   };
 
-  void evict_locked();
+  void evict_locked(const Key& incoming);
 
   mutable std::mutex mutex_;
   std::map<Key, Entry> entries_;

@@ -41,6 +41,8 @@
 #include "graph/small_world.hpp"         // IWYU pragma: export
 #include "graph/spectral.hpp"            // IWYU pragma: export
 #include "graph/tree_like.hpp"           // IWYU pragma: export
+#include "incremental/dirty_ball.hpp"    // IWYU pragma: export
+#include "incremental/engine.hpp"        // IWYU pragma: export
 #include "protocols/color.hpp"           // IWYU pragma: export
 #include "protocols/estimate.hpp"        // IWYU pragma: export
 #include "protocols/fastpath.hpp"        // IWYU pragma: export
@@ -49,6 +51,7 @@
 #include "protocols/refine.hpp"          // IWYU pragma: export
 #include "protocols/schedule.hpp"        // IWYU pragma: export
 #include "protocols/verification.hpp"    // IWYU pragma: export
+#include "protocols/warm_start.hpp"      // IWYU pragma: export
 #include "sim/engine.hpp"                // IWYU pragma: export
 #include "sim/runner.hpp"                // IWYU pragma: export
 #include "sim/world.hpp"                 // IWYU pragma: export

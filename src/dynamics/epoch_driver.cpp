@@ -1,9 +1,13 @@
 #include "dynamics/epoch_driver.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <string>
 
 #include "graph/categories.hpp"
+#include "incremental/engine.hpp"
 #include "sim/engine.hpp"
 #include "sim/runner.hpp"
 
@@ -37,11 +41,28 @@ bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
 }  // namespace
 
 ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
+  const IncrementalConfig& inc_cfg = cfg.incremental;
+  if (cfg.run_engine && inc_cfg.warm_start && !inc_cfg.verify_warm) {
+    throw std::invalid_argument(
+        "run_churn: run_engine with warm_start requires verify_warm (the "
+        "message-level Engine is compared against the cold tier)");
+  }
+
   ChurnRunResult out;
   out.trace = generate_trace(cfg.trace);
 
   MutableOverlay overlay(cfg.trace.n0, cfg.d, cfg.k,
                          util::mix_seed(cfg.seed, kOverlayStream));
+  // The incremental engine owns dirty-ball tracking; it is also attached
+  // (with reuse off) when only the warm tier is on, because warm restarts
+  // need the per-epoch dirty masks.
+  std::optional<incremental::IncrementalEngine> inc;
+  if (inc_cfg.incremental || inc_cfg.warm_start || inc_cfg.verify_snapshots) {
+    incremental::IncrementalEngine::Config engine_cfg;
+    engine_cfg.incremental = inc_cfg.incremental;
+    engine_cfg.verify_against_full = inc_cfg.verify_snapshots;
+    inc.emplace(overlay, engine_cfg);
+  }
 
   // Initial Byzantine placement on the bootstrap ids (the paper's uniform
   // model); the mask is indexed by STABLE id and grows with joins.
@@ -52,6 +73,9 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   util::Xoshiro256 churn_rng(util::mix_seed(cfg.seed, kChurnStream));
   // Last decided estimate per stable id (0 = none yet); feeds staleness.
   std::vector<std::uint32_t> last_estimate(overlay.id_bound(), 0);
+  proto::WarmState warm_state;
+  double acc_drift = 0.0;
+  double n_last_estimated = cfg.trace.n0;
 
   out.epochs.reserve(out.trace.epochs.size());
   for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
@@ -84,38 +108,28 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     // the staleness scan reads it.
     last_estimate.resize(overlay.id_bound(), 0);
 
-    // Snapshot and re-estimate.
-    const auto snap = overlay.snapshot();
-    const NodeId n = snap.overlay.num_nodes();
-    std::vector<bool> dense_byz(n, false);
-    NodeId byz_alive = 0;
-    for (NodeId i = 0; i < n; ++i) {
-      if (byz[snap.dense_to_stable[i]]) {
-        dense_byz[i] = true;
-        ++byz_alive;
-      }
-    }
-    const std::uint64_t color_seed =
-        util::mix_seed(cfg.seed, kColorStream + e);
-    auto strategy = adv::make_strategy(cfg.strategy);
-    const auto run = proto::run_counting(snap.overlay, dense_byz, *strategy,
-                                         cfg.protocol, color_seed);
+    acc_drift +=
+        static_cast<double>(epoch.joins + epoch.sybil_joins + epoch.leaves) /
+        n_last_estimated;
 
     EpochStats stats;
+    const auto alive = overlay.alive_nodes();
+    const auto n = static_cast<NodeId>(alive.size());
     stats.n_true = n;
-    stats.byz_alive = byz_alive;
     stats.joins = epoch.joins + epoch.sybil_joins;
     stats.leaves = epoch.leaves;
-    stats.fresh =
-        proto::summarize_accuracy(run, n, cfg.band_lo, cfg.band_hi);
-    stats.messages = run.instr.total_messages();
+    stats.drift = acc_drift;
+    for (const NodeId s : alive) {
+      if (byz[s]) ++stats.byz_alive;
+    }
 
     // Staleness: judge the estimates honest survivors still carry from
-    // previous epochs against the CURRENT truth.
+    // previous epochs against the CURRENT truth (before this epoch's run
+    // replaces them).
     const double log_n = std::log2(static_cast<double>(n));
-    for (NodeId i = 0; i < n; ++i) {
-      if (dense_byz[i]) continue;
-      const std::uint32_t est = last_estimate[snap.dense_to_stable[i]];
+    for (const NodeId s : alive) {
+      if (byz[s]) continue;
+      const std::uint32_t est = last_estimate[s];
       if (est == 0) continue;
       ++stats.stale_nodes;
       const double ratio = static_cast<double>(est) / log_n;
@@ -127,11 +141,83 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
             : static_cast<double>(stats.stale_in_band) /
                   static_cast<double>(stats.stale_nodes);
 
+    // Drift-adaptive scheduling: estimation runs when the accumulated
+    // drift crosses the bound (epoch 0 always bootstraps the estimates).
+    stats.estimated = !inc_cfg.adaptive || e == 0 ||
+                      acc_drift >= inc_cfg.drift_threshold;
+    if (!stats.estimated) {
+      out.epochs.push_back(stats);
+      continue;
+    }
+
+    // Snapshot (incremental or full rebuild) and re-estimate.
+    const auto snap = inc ? inc->snapshot() : overlay.snapshot();
+    if (inc) {
+      stats.balls_recomputed = inc->stats().last_recomputed;
+      stats.balls_reused = inc->stats().last_reused;
+    } else {
+      stats.balls_recomputed = n;
+    }
+    std::vector<bool> dense_byz(n, false);
+    for (NodeId i = 0; i < n; ++i) {
+      if (byz[snap.dense_to_stable[i]]) dense_byz[i] = true;
+    }
+    const std::uint64_t color_seed =
+        util::mix_seed(cfg.seed, kColorStream + e);
+    auto strategy = adv::make_strategy(cfg.strategy);
+
+    proto::RunResult run;
+    proto::RunResult cold;
+    bool have_cold = false;
+    if (inc_cfg.warm_start) {
+      // Under adaptive scheduling every estimation runs at drift >=
+      // drift_threshold by construction — that is the scheduler's cadence,
+      // not an anomaly, so the warm fallback bound must sit above it or
+      // the warm tier would be structurally dead. Twice the threshold
+      // leaves room for the one-epoch overshoot past the trigger.
+      proto::WarmConfig warm_cfg = inc_cfg.warm;
+      if (inc_cfg.adaptive) {
+        warm_cfg.max_drift =
+            std::max(warm_cfg.max_drift, 2.0 * inc_cfg.drift_threshold);
+      }
+      auto warm = proto::run_counting_warm(
+          snap.overlay, dense_byz, *strategy, cfg.protocol, color_seed,
+          snap.dense_to_stable, inc->last_dirty(), acc_drift, warm_cfg,
+          warm_state);
+      run = std::move(warm.run);
+      stats.warm_used = warm.warm_used;
+      stats.verify_rows_reused = warm.rows_reused;
+      stats.verify_rows_recomputed = warm.rows_recomputed;
+      if (inc_cfg.verify_warm) {
+        auto cold_strategy = adv::make_strategy(cfg.strategy);
+        cold = proto::run_counting(snap.overlay, dense_byz, *cold_strategy,
+                                   cfg.protocol, color_seed);
+        have_cold = true;
+        stats.messages_cold = cold.instr.total_messages();
+        if (cold.status != run.status || cold.estimate != run.estimate) {
+          throw std::logic_error(
+              "run_churn: warm-started decisions diverged from the cold run "
+              "at epoch " + std::to_string(e));
+        }
+      }
+    } else {
+      run = proto::run_counting(snap.overlay, dense_byz, *strategy,
+                                cfg.protocol, color_seed);
+    }
+
+    stats.fresh = proto::summarize_accuracy(run, n, cfg.band_lo, cfg.band_hi);
+    stats.messages = run.instr.total_messages();
+    stats.subphases_scheduled = run.subphases_scheduled;
+    stats.subphases_executed = run.subphases_executed;
+
     if (cfg.run_engine) {
       auto strategy2 = adv::make_strategy(cfg.strategy);
       sim::Engine engine(snap.overlay, dense_byz, *strategy2, cfg.protocol,
                          color_seed);
-      stats.engine_match = same_outcome(run, engine.run());
+      // Warm runs skip flood traffic by design; the Engine's full-fidelity
+      // accounting is compared against the cold tier (verify_warm is
+      // enforced above whenever warm_start is on).
+      stats.engine_match = same_outcome(have_cold ? cold : run, engine.run());
     }
 
     for (NodeId i = 0; i < n; ++i) {
@@ -139,6 +225,8 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         last_estimate[snap.dense_to_stable[i]] = run.estimate[i];
       }
     }
+    acc_drift = 0.0;
+    n_last_estimated = static_cast<double>(n);
     out.epochs.push_back(stats);
   }
   return out;
@@ -146,6 +234,9 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
 
 std::int32_t recovery_epochs(const ChurnRunResult& result,
                              std::uint32_t burst_epoch, double threshold) {
+  // -1 unless the threshold is actually MET by an epoch of the trace: a
+  // burst at (or past) the final epoch whose fresh in-band fraction never
+  // re-enters the band is "never recovered", not trivially recovered.
   for (std::uint32_t e = burst_epoch; e < result.epochs.size(); ++e) {
     if (result.epochs[e].fresh.frac_in_band >= threshold) {
       return static_cast<std::int32_t>(e - burst_epoch);

@@ -21,8 +21,38 @@
 #include "dynamics/mutable_overlay.hpp"
 #include "protocols/estimate.hpp"
 #include "protocols/fastpath.hpp"
+#include "protocols/warm_start.hpp"
 
 namespace byz::dynamics {
+
+/// The incremental-estimation knobs (all off = the PR-2 behavior: full
+/// snapshot rebuild plus a cold protocol run every epoch).
+struct IncrementalConfig {
+  /// Dirty-ball snapshot maintenance: snapshot() recomputes only the BFS
+  /// balls within distance k of a splice endpoint and reuses the rest.
+  bool incremental = false;
+  /// Debug mode: every incremental snapshot is cross-checked bitwise
+  /// against a full rebuild (throws std::logic_error on divergence).
+  bool verify_snapshots = false;
+  /// Warm-start the protocol from the previous epoch's estimates and
+  /// verification state (proto::run_counting_warm).
+  bool warm_start = false;
+  /// Shadow-run the cold protocol on every snapshot and assert the warm
+  /// decisions (status + estimates) match exactly; also fills
+  /// EpochStats::messages_cold for parity reporting.
+  bool verify_warm = false;
+  /// Warm safety bound (see proto::WarmConfig). With `adaptive` on, the
+  /// effective bound is raised to at least 2*drift_threshold: estimating
+  /// AT the threshold is the scheduler's cadence, not excess drift.
+  proto::WarmConfig warm;
+  /// Drift-adaptive epoch scheduling: re-estimate only when the membership
+  /// drift accumulated since the last estimation crosses drift_threshold,
+  /// instead of on every epoch.
+  bool adaptive = false;
+  /// Fraction of the last-estimated membership that must churn before the
+  /// adaptive scheduler re-estimates.
+  double drift_threshold = 0.02;
+};
 
 struct ChurnRunConfig {
   ChurnTraceParams trace;
@@ -39,6 +69,10 @@ struct ChurnRunConfig {
   /// Accuracy band for est/log2(n(t)) (summarize_accuracy defaults).
   double band_lo = 0.05;
   double band_hi = 3.0;
+  /// Incremental-tier switches (snapshot reuse, warm start, adaptive
+  /// scheduling). run_engine with warm_start requires verify_warm: the
+  /// message-level Engine is compared against the cold tier.
+  IncrementalConfig incremental;
 };
 
 struct EpochStats {
@@ -53,6 +87,17 @@ struct EpochStats {
   double stale_frac_in_band = 0.0;
   std::uint64_t messages = 0;     ///< protocol messages this epoch
   bool engine_match = true;       ///< engine == fastpath (when run_engine)
+  // --- incremental tier ---
+  bool estimated = true;          ///< false = adaptive scheduler skipped
+  double drift = 0.0;             ///< accumulated drift entering the epoch
+  std::uint64_t balls_recomputed = 0;  ///< snapshot balls BFS'd this epoch
+  std::uint64_t balls_reused = 0;      ///< balls carried from last snapshot
+  bool warm_used = false;         ///< warm path taken (vs cold fallback)
+  std::uint64_t subphases_scheduled = 0;  ///< paper schedule for the run
+  std::uint64_t subphases_executed = 0;   ///< after lazy short-circuiting
+  std::uint64_t verify_rows_reused = 0;     ///< verifier rows carried over
+  std::uint64_t verify_rows_recomputed = 0; ///< dirty-ball verifier rows
+  std::uint64_t messages_cold = 0;        ///< cold shadow run (verify_warm)
 };
 
 struct ChurnRunResult {
@@ -65,7 +110,9 @@ struct ChurnRunResult {
 
 /// Epochs the fresh in-band fraction needs to climb back to >= threshold
 /// from `burst_epoch` on: 0 = already recovered at the burst epoch itself,
-/// -1 = never within the trace.
+/// -1 = never within the trace. The threshold must actually be MET by some
+/// epoch of the trace: a burst at (or past) the final epoch whose in-band
+/// fraction never re-enters the band reports -1, not a recovery.
 [[nodiscard]] std::int32_t recovery_epochs(const ChurnRunResult& result,
                                            std::uint32_t burst_epoch,
                                            double threshold = 0.9);

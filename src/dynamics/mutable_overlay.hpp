@@ -32,6 +32,24 @@ using graph::NodeId;
 
 class MutableOverlay {
  public:
+  /// Observes topology splices (the hook incremental::DirtyBallTracker
+  /// attaches to). The observer sees each join/leave/rewire AFTER the rings
+  /// are updated, with the stable ids whose incident H-edges the operation
+  /// changed: the joined/departed/rewired node itself, every splice anchor,
+  /// and each anchor's former ring successor (duplicates possible). All
+  /// reported ids are alive in the post-op overlay except a departed node.
+  class SpliceObserver {
+   public:
+    virtual ~SpliceObserver() = default;
+    virtual void on_splice(std::span<const NodeId> touched) = 0;
+  };
+
+  /// Attaches (or, with nullptr, detaches) the single observer slot.
+  void set_observer(SpliceObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  [[nodiscard]] SpliceObserver* observer() const noexcept { return observer_; }
+
   /// Bootstraps with `n0` nodes (stable ids 0..n0-1) by running the exact
   /// Fisher-Yates cycle sampling of build_hamiltonian_graph on `seed`: the
   /// generation-0 snapshot is edge-identical to Overlay::build({n0, d, k,
@@ -54,6 +72,9 @@ class MutableOverlay {
   [[nodiscard]] std::uint64_t generation() const noexcept {
     return generation_;
   }
+  /// The seed the generation-0 topology was sampled from (snapshot params
+  /// record it as provenance).
+  [[nodiscard]] std::uint64_t bootstrap_seed() const noexcept { return seed_; }
 
   /// Topology build tag stamped into snapshot params: a SplitMix64 fold of
   /// the bootstrap seed and the full operation log (op kind, node, anchors),
@@ -119,7 +140,11 @@ class MutableOverlay {
   void fold(std::uint64_t value) noexcept {
     history_tag_ = util::mix_seed(history_tag_, value);
   }
+  void notify(std::span<const NodeId> touched) {
+    if (observer_ != nullptr) observer_->on_splice(touched);
+  }
 
+  SpliceObserver* observer_ = nullptr;
   std::uint32_t d_;
   std::uint32_t k_;
   std::uint64_t seed_;

@@ -70,6 +70,32 @@ Graph Graph::from_adjacency(std::vector<std::vector<NodeId>> adj) {
   return g;
 }
 
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
+                      std::vector<NodeId> neighbors) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != neighbors.size()) {
+    throw std::invalid_argument("Graph::from_csr: malformed offsets");
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    if (offsets[v] < offsets[v - 1]) {
+      throw std::invalid_argument("Graph::from_csr: offsets not monotone");
+    }
+  }
+#ifndef NDEBUG
+  for (std::size_t v = 1; v < offsets.size(); ++v) {
+    for (std::uint64_t i = offsets[v - 1] + 1; i < offsets[v]; ++i) {
+      if (neighbors[i - 1] > neighbors[i]) {
+        throw std::invalid_argument("Graph::from_csr: range not sorted");
+      }
+    }
+  }
+#endif
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   const auto nbrs = neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

@@ -29,6 +29,14 @@ class Graph {
   /// Builds directly from per-node adjacency lists (they get sorted).
   [[nodiscard]] static Graph from_adjacency(std::vector<std::vector<NodeId>> adj);
 
+  /// Adopts ready-made CSR arrays without per-edge work — the fast path for
+  /// callers that already hold sorted per-node ranges (the incremental
+  /// snapshot engine). `offsets` must be monotone with offsets[0] == 0 and
+  /// offsets.back() == neighbors.size(); each node's range must be sorted
+  /// ascending (checked in debug builds only).
+  [[nodiscard]] static Graph from_csr(std::vector<std::uint64_t> offsets,
+                                      std::vector<NodeId> neighbors);
+
   [[nodiscard]] NodeId num_nodes() const noexcept {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
   }

@@ -83,6 +83,28 @@ Overlay Overlay::build_from_h(const OverlayParams& params, Graph h) {
   return o;
 }
 
+Overlay Overlay::build_with_balls(const OverlayParams& params, Graph h,
+                                  Graph g, std::vector<std::uint8_t> g_dist) {
+  Overlay o;
+  o.params_ = params;
+  o.k_ = params.k == 0 ? paper_k(params.d) : params.k;
+  if (o.k_ == 0) throw std::invalid_argument("Overlay: k must be >= 1");
+  if (h.num_nodes() != params.n || g.num_nodes() != params.n) {
+    throw std::invalid_argument("Overlay: H/G node count != params.n");
+  }
+  if (!h.is_regular(params.d)) {
+    throw std::invalid_argument("Overlay: H is not d-regular");
+  }
+  if (g_dist.size() != g.num_slots()) {
+    throw std::invalid_argument("Overlay: g_dist size != G slots");
+  }
+  o.h_ = std::move(h);
+  o.h_simple_ = simplify(o.h_);
+  o.g_ = std::move(g);
+  o.g_dist_ = std::move(g_dist);
+  return o;
+}
+
 std::uint8_t Overlay::h_dist(NodeId v, NodeId w) const {
   if (v == w) return 0;
   const auto nbrs = g_.neighbors(v);

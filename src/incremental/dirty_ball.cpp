@@ -1,0 +1,74 @@
+#include "incremental/dirty_ball.hpp"
+
+namespace byz::incremental {
+
+DirtyBallTracker::DirtyBallTracker(MutableOverlay& overlay)
+    : overlay_(&overlay), k_(overlay.k()) {
+  overlay_->set_observer(this);
+}
+
+DirtyBallTracker::~DirtyBallTracker() {
+  if (overlay_->observer() == this) overlay_->set_observer(nullptr);
+}
+
+void DirtyBallTracker::mark(NodeId stable) {
+  if (stable >= dirty_.size()) dirty_.resize(stable + 1, 0);
+  if (dirty_[stable] == 0) {
+    dirty_[stable] = 1;
+    ++dirty_count_;
+  }
+}
+
+void DirtyBallTracker::on_splice(std::span<const NodeId> touched) {
+  ++splices_;
+  const NodeId bound = overlay_->id_bound();
+  if (stamp_.size() < bound) stamp_.resize(bound, 0);
+  ++epoch_;
+
+  // Multi-source BFS to depth k-1 in the post-op ring structure (the
+  // witness-path prefix bound — see the header). Sources are the alive
+  // touched endpoints; a departed node in `touched` is marked dirty
+  // directly (so a consumer can drop its stored ball) but cannot seed the
+  // walk — it has no edges left.
+  frontier_.clear();
+  for (const NodeId t : touched) {
+    if (!overlay_->is_alive(t)) {
+      mark(t);
+      continue;
+    }
+    if (stamp_[t] != epoch_) {
+      stamp_[t] = epoch_;
+      mark(t);
+      frontier_.push_back(t);
+    }
+  }
+  const std::uint32_t cycles = overlay_->num_cycles();
+  for (std::uint32_t depth = 1; depth < k_ && !frontier_.empty(); ++depth) {
+    next_.clear();
+    for (const NodeId u : frontier_) {
+      for (std::uint32_t c = 0; c < cycles; ++c) {
+        for (const NodeId w :
+             {overlay_->successor(c, u), overlay_->predecessor(c, u)}) {
+          if (stamp_[w] != epoch_) {
+            stamp_[w] = epoch_;
+            mark(w);
+            next_.push_back(w);
+          }
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+}
+
+void DirtyBallTracker::mark_all_dirty() {
+  for (const NodeId v : overlay_->alive_nodes()) mark(v);
+}
+
+void DirtyBallTracker::clear() {
+  dirty_.assign(dirty_.size(), 0);
+  dirty_count_ = 0;
+  splices_ = 0;
+}
+
+}  // namespace byz::incremental

@@ -1,0 +1,206 @@
+#include "incremental/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/small_world.hpp"
+
+namespace byz::incremental {
+
+namespace {
+
+bool graphs_equal(const graph::Graph& a, const graph::Graph& b) {
+  const NodeId n = a.num_nodes();
+  if (n != b.num_nodes() || a.num_slots() != b.num_slots()) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool overlays_identical(const graph::Overlay& a, const graph::Overlay& b) {
+  const auto& pa = a.params();
+  const auto& pb = b.params();
+  if (pa.n != pb.n || pa.d != pb.d || pa.k != pb.k || pa.seed != pb.seed ||
+      pa.generation != pb.generation || a.k() != b.k()) {
+    return false;
+  }
+  if (!graphs_equal(a.h(), b.h()) ||
+      !graphs_equal(a.h_simple(), b.h_simple()) ||
+      !graphs_equal(a.g(), b.g())) {
+    return false;
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto da = a.g_dists(v);
+    const auto db = b.g_dists(v);
+    if (!std::equal(da.begin(), da.end(), db.begin(), db.end())) return false;
+  }
+  return true;
+}
+
+IncrementalEngine::IncrementalEngine(MutableOverlay& overlay, Config config)
+    : overlay_(&overlay), config_(config), tracker_(overlay) {}
+
+void IncrementalEngine::recompute_ball(NodeId v, graph::BfsScratch& scratch,
+                                       std::vector<graph::BallEntry>& tmp) {
+  const auto& ov = *overlay_;
+  scratch.ensure(ov.id_bound());
+  scratch.new_epoch();
+  scratch.mark(v);
+  tmp.clear();
+  tmp.push_back({v, 0});
+  const std::uint32_t cycles = ov.num_cycles();
+  const std::uint32_t k = ov.k();
+  std::size_t level_begin = 0;
+  for (std::uint32_t depth = 1; depth <= k; ++depth) {
+    const std::size_t level_end = tmp.size();
+    if (level_begin == level_end) break;  // ball stopped growing
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      const NodeId u = tmp[i].node;
+      for (std::uint32_t c = 0; c < cycles; ++c) {
+        for (const NodeId w : {ov.successor(c, u), ov.predecessor(c, u)}) {
+          if (!scratch.visited(w)) {
+            scratch.mark(w);
+            tmp.push_back({w, static_cast<std::uint8_t>(depth)});
+          }
+        }
+      }
+    }
+    level_begin = level_end;
+  }
+  auto& ball = balls_[v];
+  ball.assign(tmp.begin() + 1, tmp.end());  // self excluded, like G rows
+  std::sort(ball.begin(), ball.end(),
+            [](const graph::BallEntry& a, const graph::BallEntry& b) {
+              return a.node < b.node;
+            });
+}
+
+MutableOverlay::Snapshot IncrementalEngine::snapshot() {
+  const auto& ov = *overlay_;
+  MutableOverlay::Snapshot snap;
+  snap.dense_to_stable = ov.alive_nodes();
+  const auto n = static_cast<NodeId>(snap.dense_to_stable.size());
+  const NodeId bound = ov.id_bound();
+
+  std::vector<NodeId> dense(bound, graph::kInvalidNode);
+  for (NodeId i = 0; i < n; ++i) dense[snap.dense_to_stable[i]] = i;
+  if (balls_.size() < bound) balls_.resize(bound);
+
+  // What really changed since the last snapshot (warm-start consumers read
+  // this even when incremental reuse is off).
+  if (!has_snapshot_) {
+    last_dirty_.assign(bound, 0);
+    for (const NodeId v : snap.dense_to_stable) last_dirty_[v] = 1;
+  } else {
+    last_dirty_ = tracker_.dirty_mask();
+    last_dirty_.resize(bound, 0);
+  }
+
+  const bool full = !has_snapshot_ || !config_.incremental;
+  std::vector<NodeId> recompute;
+  if (full) {
+    recompute = snap.dense_to_stable;
+    ++stats_.full_rebuilds;
+  } else {
+    for (const NodeId v : snap.dense_to_stable) {
+      if (tracker_.is_dirty(v)) recompute.push_back(v);
+    }
+  }
+
+#pragma omp parallel
+  {
+    graph::BfsScratch scratch;
+    std::vector<graph::BallEntry> tmp;
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(recompute.size());
+         ++i) {
+      recompute_ball(recompute[static_cast<std::size_t>(i)], scratch, tmp);
+    }
+  }
+  // Departed nodes keep no ball (their stable ids are never reused).
+  for (NodeId v = 0; v < bound; ++v) {
+    if (!ov.is_alive(v) && !balls_[v].empty()) {
+      std::vector<graph::BallEntry>().swap(balls_[v]);
+    }
+  }
+  stats_.last_recomputed = recompute.size();
+  stats_.last_reused = n - recompute.size();
+  stats_.balls_recomputed += stats_.last_recomputed;
+  stats_.balls_reused += stats_.last_reused;
+
+  // H: every node holds exactly one successor and one predecessor slot per
+  // cycle, so the CSR offsets are uniform; sorting each d-slot row matches
+  // the multiset sort Graph::from_edges performs in the full rebuild.
+  const std::uint32_t d = ov.d();
+  const std::uint32_t cycles = ov.num_cycles();
+  std::vector<std::uint64_t> h_off(static_cast<std::size_t>(n) + 1);
+  for (NodeId i = 0; i <= n; ++i) {
+    h_off[i] = static_cast<std::uint64_t>(i) * d;
+  }
+  std::vector<NodeId> h_nbrs(static_cast<std::uint64_t>(n) * d);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
+    const auto i = static_cast<NodeId>(si);
+    const NodeId v = snap.dense_to_stable[i];
+    NodeId* row = h_nbrs.data() + static_cast<std::uint64_t>(i) * d;
+    for (std::uint32_t c = 0; c < cycles; ++c) {
+      row[2 * c] = dense[ov.successor(c, v)];
+      row[2 * c + 1] = dense[ov.predecessor(c, v)];
+    }
+    std::sort(row, row + d);
+  }
+
+  // G: prefix-sum the stored ball sizes, then translate stable→dense. The
+  // mapping is monotone (dense order IS increasing stable order), so the
+  // stable-sorted balls land dense-sorted without re-sorting.
+  std::vector<std::uint64_t> g_off(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId i = 0; i < n; ++i) {
+    g_off[i + 1] = g_off[i] + balls_[snap.dense_to_stable[i]].size();
+  }
+  std::vector<NodeId> g_nbrs(g_off[n]);
+  std::vector<std::uint8_t> g_dist(g_off[n]);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
+    const auto i = static_cast<NodeId>(si);
+    const auto& ball = balls_[snap.dense_to_stable[i]];
+    const std::uint64_t base = g_off[i];
+    for (std::size_t j = 0; j < ball.size(); ++j) {
+      g_nbrs[base + j] = dense[ball[j].node];
+      g_dist[base + j] = ball[j].dist;
+    }
+  }
+
+  graph::OverlayParams params;
+  params.n = n;
+  params.d = d;
+  params.k = ov.k();
+  params.seed = ov.bootstrap_seed();
+  params.generation = ov.build_tag();
+  snap.overlay = graph::Overlay::build_with_balls(
+      params, graph::Graph::from_csr(std::move(h_off), std::move(h_nbrs)),
+      graph::Graph::from_csr(std::move(g_off), std::move(g_nbrs)),
+      std::move(g_dist));
+
+  if (config_.verify_against_full) {
+    const auto reference = ov.snapshot();
+    if (reference.dense_to_stable != snap.dense_to_stable ||
+        !overlays_identical(reference.overlay, snap.overlay)) {
+      throw std::logic_error(
+          "IncrementalEngine::snapshot: incremental result diverged from the "
+          "full rebuild (dirty-ball invariant violated)");
+    }
+    ++stats_.verified;
+  }
+
+  tracker_.clear();
+  has_snapshot_ = true;
+  ++stats_.snapshots;
+  return snap;
+}
+
+}  // namespace byz::incremental

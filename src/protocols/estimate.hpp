@@ -22,6 +22,12 @@ struct RunResult {
   std::vector<std::uint32_t> estimate;  ///< decided phase i (0 if none)
   std::uint32_t phases_executed = 0;
   std::uint64_t flood_rounds = 0;       ///< protocol rounds (paper's count)
+  /// Subphase accounting: scheduled = what the paper's schedule prescribes
+  /// for the executed phases; executed < scheduled only for lazily
+  /// evaluated (warm-tier) runs, which stop a phase at the first subphase
+  /// after which every active node has fired.
+  std::uint64_t subphases_scheduled = 0;
+  std::uint64_t subphases_executed = 0;
   sim::Instrumentation instr;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "protocols/color.hpp"
@@ -29,6 +30,14 @@ RunResult run_counting(const graph::Overlay& overlay,
                        const std::vector<bool>& byz_mask,
                        adv::Strategy& strategy, const ProtocolConfig& cfg,
                        std::uint64_t color_seed) {
+  return run_counting_with(overlay, byz_mask, strategy, cfg, color_seed, {});
+}
+
+RunResult run_counting_with(const graph::Overlay& overlay,
+                            const std::vector<bool>& byz_mask,
+                            adv::Strategy& strategy, const ProtocolConfig& cfg,
+                            std::uint64_t color_seed,
+                            const RunControls& controls) {
   const NodeId n = overlay.num_nodes();
   if (byz_mask.size() != n) {
     throw std::invalid_argument("run_counting: mask size mismatch");
@@ -55,7 +64,12 @@ RunResult run_counting(const graph::Overlay& overlay,
     }
   }
 
-  const Verifier verifier(overlay, byz_mask, cfg.verification);
+  const Verifier* verifier = controls.verifier;
+  std::optional<Verifier> owned_verifier;
+  if (verifier == nullptr) {
+    owned_verifier.emplace(overlay, byz_mask, cfg.verification);
+    verifier = &*owned_verifier;
+  }
   const std::uint32_t max_phase = resolve_max_phase(overlay, cfg);
   const bool byz_gen = strategy.generates_honestly();
 
@@ -73,6 +87,12 @@ RunResult run_counting(const graph::Overlay& overlay,
   std::vector<Color> gen(n, 0);
   std::vector<Injection> injections;
   std::vector<bool> fired(n, false);
+  // Lazy-tier scratch: the not-yet-fired stragglers of the current phase
+  // and the region mask of their radius-`phase` balls.
+  std::vector<NodeId> unfired_list;
+  std::vector<std::uint8_t> region;
+  std::vector<NodeId> region_frontier;
+  std::vector<NodeId> region_next;
 
   std::uint32_t phase = 0;
   while (phase < max_phase && active_count > 0) {
@@ -80,8 +100,10 @@ RunResult run_counting(const graph::Overlay& overlay,
     const std::uint32_t subphases = subphases_in_phase(phase, d, cfg.schedule);
     std::fill(fired.begin(), fired.end(), false);
     const double threshold = continue_threshold(phase, d);
+    result.subphases_scheduled += subphases;
 
     for (std::uint32_t j = 1; j <= subphases; ++j) {
+      bool focused = false;
       const std::uint32_t s =
           global_subphase_index(phase, j, d, cfg.schedule);
       // Colors: active honest nodes generate; decided/crashed do not;
@@ -97,22 +119,75 @@ RunResult run_counting(const graph::Overlay& overlay,
       injections.clear();
       strategy.plan_subphase(world, {phase, j, s}, injections);
 
+      // Lazy evaluation, stage 2: only the stragglers that have not fired
+      // yet can still influence this phase's decisions, and a node's flood
+      // values are a function of its radius-`phase` ball alone — so once
+      // the stragglers are a minority, flood only the induced subgraph on
+      // the union of their balls. Values are exact exactly at the
+      // stragglers, which are the only nodes the fired-update below still
+      // reads.
+      if (controls.lazy_subphases && j > 1 &&
+          unfired_list.size() < active_count) {
+        region.assign(n, 0);
+        region_frontier.clear();
+        NodeId region_count = 0;
+        for (const NodeId v : unfired_list) {
+          region[v] = 1;
+          region_frontier.push_back(v);
+          ++region_count;
+        }
+        const auto& hs = overlay.h_simple();
+        focused = true;
+        for (std::uint32_t depth = 0;
+             depth < phase && !region_frontier.empty(); ++depth) {
+          region_next.clear();
+          for (const NodeId u : region_frontier) {
+            for (const NodeId w : hs.neighbors(u)) {
+              if (region[w] == 0) {
+                region[w] = 1;
+                region_next.push_back(w);
+                ++region_count;
+              }
+            }
+          }
+          // The balls merged into most of the network: the focused flood
+          // would cost the same as the full one, so skip the masking.
+          if (region_count * 4 > static_cast<NodeId>(n) * 3) {
+            focused = false;
+            break;
+          }
+          region_frontier.swap(region_next);
+        }
+      }
+
       FloodParams params;
       params.steps = phase;
       params.byz_forward = strategy.forwards_floods();
-      run_flood_subphase(overlay, byz_mask, crashed, verifier, params, gen,
+      if (focused) params.region = region;
+      run_flood_subphase(overlay, byz_mask, crashed, *verifier, params, gen,
                          injections, ws, result.instr);
+      ++result.subphases_executed;
 
       // Line 18: the phase "continues" for v if the final-step max strictly
       // beats every earlier step AND clears the threshold, in ANY subphase.
+      // (Already-fired nodes are skipped, so focused subphases only read
+      // the straggler values the region guarantees exact.)
+      unfired_list.clear();
       for (NodeId v = 0; v < n; ++v) {
         if (!active[v] || fired[v]) continue;
         const Color ki = ws.last_step[v];
         if (ki > ws.best_before[v] &&
             static_cast<double>(ki) > threshold) {
           fired[v] = true;
+        } else {
+          unfired_list.push_back(v);
         }
       }
+      // Lazy evaluation, stage 1: once every active node has fired, the
+      // remaining subphases cannot change any decision (fired is monotone
+      // and the only cross-subphase state) — to the cold tier they are
+      // pure message cost.
+      if (controls.lazy_subphases && unfired_list.empty()) break;
     }
 
     // Nodes with FlagTerminate still set accept i as the estimate of log n.

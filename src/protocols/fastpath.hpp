@@ -45,6 +45,34 @@ struct ProtocolConfig {
                                      const ProtocolConfig& cfg,
                                      std::uint64_t color_seed);
 
+/// Warm-tier extension points for run_counting. Both are DECISION-EXACT:
+/// the per-node status/estimate vectors are bitwise identical to the plain
+/// run for every input (only message/round accounting changes).
+struct RunControls {
+  /// Lazy subphase evaluation: stop each phase at the first subphase after
+  /// which every active node has fired. The fired flags are monotone
+  /// within a phase and are the ONLY state subphases share, so the skipped
+  /// subphases cannot change any decision — they are pure message cost.
+  /// (Skipping whole PHASES, by contrast, is never decision-exact: with
+  /// fresh per-epoch colors a poorly-connected node fails phase i's
+  /// threshold with probability ~(1/2)^(m*alpha_i) for m live neighbors,
+  /// so "nobody decides before the previous epoch's minimum" is a
+  /// positive-probability bet, not an invariant.)
+  bool lazy_subphases = false;
+  /// Replaces the internally constructed Verifier; must be equivalent to
+  /// Verifier(overlay, byz_mask, cfg.verification). The warm tier
+  /// assembles it from cached rows, recomputing only dirty-ball nodes.
+  const Verifier* verifier = nullptr;
+};
+
+/// run_counting with explicit controls; run_counting == default controls.
+[[nodiscard]] RunResult run_counting_with(const graph::Overlay& overlay,
+                                          const std::vector<bool>& byz_mask,
+                                          adv::Strategy& strategy,
+                                          const ProtocolConfig& cfg,
+                                          std::uint64_t color_seed,
+                                          const RunControls& controls);
+
 /// Algorithm 1 with no Byzantine nodes at all (§3.1's exposition setting).
 [[nodiscard]] RunResult run_basic_counting(const graph::Overlay& overlay,
                                            std::uint64_t color_seed,

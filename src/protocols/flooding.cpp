@@ -29,11 +29,18 @@ void run_flood_subphase(const graph::Overlay& overlay,
   if (gen_color.size() != n || byz_mask.size() != n || crashed.size() != n) {
     throw std::invalid_argument("run_flood_subphase: size mismatch");
   }
+  if (!params.region.empty() && params.region.size() != n) {
+    throw std::invalid_argument("run_flood_subphase: region size mismatch");
+  }
   ws.ensure(n);
   const auto& h = overlay.h_simple();
+  const auto in_region = [&](NodeId v) {
+    return params.region.empty() || params.region[v] != 0;
+  };
 
   // Step 1 senders: every generating node broadcasts its own color.
   for (NodeId v = 0; v < n; ++v) {
+    if (!in_region(v)) continue;
     ws.known[v] = gen_color[v];
     if (gen_color[v] > 0 && !crashed[v]) ws.frontier.push_back(v);
   }
@@ -42,6 +49,7 @@ void run_flood_subphase(const graph::Overlay& overlay,
   for (std::uint32_t t = 1; t <= params.steps; ++t) {
     ws.touched.clear();
     auto deliver = [&](NodeId receiver, NodeId sender, Color c, bool verify) {
+      if (!in_region(receiver)) return;
       if (crashed[receiver]) return;
       if (byz_mask[receiver]) {
         // Byzantine receivers absorb knowledge without verification; their
@@ -83,6 +91,7 @@ void run_flood_subphase(const graph::Overlay& overlay,
     // Byzantine injections scheduled for this step.
     for (const auto& inj : injections) {
       if (inj.step != t || crashed[inj.from]) continue;
+      if (!in_region(inj.from)) continue;
       const auto nbrs = h.neighbors(inj.from);
       instr.count_token(nbrs.size());
       instr.max_node_round_sends =

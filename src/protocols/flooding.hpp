@@ -49,6 +49,13 @@ class FloodWorkspace {
 struct FloodParams {
   std::uint32_t steps = 1;      ///< = phase index i
   bool byz_forward = true;      ///< Byzantine nodes relay the flood
+  /// Focused mode (the warm tier's straggler re-evaluation): when
+  /// non-empty, only marked nodes generate, forward, and receive — the
+  /// flood runs on the induced subgraph. A node's step-t value depends
+  /// only on B_H(node, t), so outputs are EXACT at every node whose
+  /// radius-`steps` ball the region covers; the caller must only read
+  /// those. Empty = the ordinary whole-network flood.
+  std::span<const std::uint8_t> region;
 };
 
 /// Runs one subphase. `gen_color[v]` is v's generated color (0 = does not

@@ -37,6 +37,43 @@ std::uint32_t byz_path_ending_at(const graph::Graph& h_simple,
   return best;
 }
 
+void verifier_ball_row(const graph::Overlay& overlay, NodeId v,
+                       std::uint32_t* out) {
+  const std::uint32_t k = overlay.k();
+  if (k >= 16) throw std::invalid_argument("Verifier: k too large");
+  // Cumulative ball sizes from the overlay's distance annotations.
+  const auto dists = overlay.g_dists(v);
+  std::uint32_t per_r[16] = {};  // k is a small constant (<= 15 guarded)
+  for (const auto dval : dists) {
+    if (dval >= 1 && dval <= k) ++per_r[dval];
+  }
+  std::uint32_t cum = 1;  // the sender itself
+  for (std::uint32_t r = 1; r <= k; ++r) {
+    cum += per_r[r];
+    out[r - 1] = cum;
+  }
+}
+
+std::uint8_t verifier_chain_len(const graph::Overlay& overlay,
+                                const std::vector<bool>& byz_mask, NodeId v,
+                                ChainModel model) {
+  if (!byz_mask[v]) return 0;
+  const std::uint32_t k = overlay.k();
+  if (model == ChainModel::kStrict) {
+    return static_cast<std::uint8_t>(std::min<std::uint32_t>(
+        byz_path_ending_at(overlay.h_simple(), byz_mask, v, k + 1), 255));
+  }
+  // kRewired: Byzantine nodes within B_H(v, k-1) can pose as a chain by
+  // claiming fake Byz-Byz H-edges that survive the crash rule.
+  std::uint32_t count = 1;
+  const auto nbrs = overlay.g().neighbors(v);
+  const auto dists = overlay.g_dists(v);
+  for (std::size_t s = 0; s < nbrs.size(); ++s) {
+    if (dists[s] <= k - 1 && byz_mask[nbrs[s]]) ++count;
+  }
+  return static_cast<std::uint8_t>(std::min<std::uint32_t>(count, 255));
+}
+
 Verifier::Verifier(const graph::Overlay& overlay,
                    const std::vector<bool>& byz_mask,
                    VerificationConfig config)
@@ -45,41 +82,33 @@ Verifier::Verifier(const graph::Overlay& overlay,
   if (byz_mask.size() != n) {
     throw std::invalid_argument("Verifier: mask size mismatch");
   }
-  // Cumulative ball sizes from the overlay's distance annotations.
+  if (k_ >= 16) throw std::invalid_argument("Verifier: k too large");
   ball_counts_.assign(static_cast<std::size_t>(n) * k_, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    const auto dists = overlay.g_dists(v);
-    std::uint32_t per_r[16] = {};  // k is a small constant (<= 15 guarded)
-    if (k_ >= 16) throw std::invalid_argument("Verifier: k too large");
-    for (const auto dval : dists) {
-      if (dval >= 1 && dval <= k_) ++per_r[dval];
-    }
-    std::uint32_t cum = 1;  // the sender itself
-    for (std::uint32_t r = 1; r <= k_; ++r) {
-      cum += per_r[r];
-      ball_counts_[static_cast<std::size_t>(v) * k_ + (r - 1)] = cum;
-    }
-  }
-  // Usable chains per Byzantine node under the configured model.
   chain_len_.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
-    if (!byz_mask[v]) continue;
-    if (config_.chain_model == ChainModel::kStrict) {
-      chain_len_[v] = static_cast<std::uint8_t>(
-          std::min<std::uint32_t>(byz_path_ending_at(overlay.h_simple(),
-                                                     byz_mask, v, k_ + 1),
-                                  255));
-    } else {
-      // kRewired: Byzantine nodes within B_H(v, k-1) can pose as a chain by
-      // claiming fake Byz-Byz H-edges that survive the crash rule.
-      std::uint32_t count = 1;
-      const auto nbrs = overlay.g().neighbors(v);
-      const auto dists = overlay.g_dists(v);
-      for (std::size_t s = 0; s < nbrs.size(); ++s) {
-        if (dists[s] <= k_ - 1 && byz_mask[nbrs[s]]) ++count;
-      }
-      chain_len_[v] = static_cast<std::uint8_t>(std::min<std::uint32_t>(count, 255));
-    }
+    verifier_ball_row(overlay, v,
+                      ball_counts_.data() + static_cast<std::size_t>(v) * k_);
+    chain_len_[v] =
+        verifier_chain_len(overlay, byz_mask, v, config_.chain_model);
+  }
+}
+
+Verifier::Verifier(const graph::Overlay& overlay,
+                   const std::vector<bool>& byz_mask,
+                   VerificationConfig config,
+                   std::vector<std::uint32_t> ball_counts,
+                   std::vector<std::uint8_t> chain_len)
+    : overlay_(&overlay),
+      byz_(&byz_mask),
+      config_(config),
+      k_(overlay.k()),
+      ball_counts_(std::move(ball_counts)),
+      chain_len_(std::move(chain_len)) {
+  const NodeId n = overlay.num_nodes();
+  if (byz_mask.size() != n ||
+      ball_counts_.size() != static_cast<std::size_t>(n) * k_ ||
+      chain_len_.size() != n) {
+    throw std::invalid_argument("Verifier: precomputed state size mismatch");
   }
 }
 

@@ -48,6 +48,22 @@ class Verifier {
   Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
            VerificationConfig config);
 
+  /// Trusted-state constructor for the warm-start tier: adopts a
+  /// ready-made cumulative ball-count table (n*k values, laid out exactly
+  /// as the primary constructor computes them) and per-node chain lengths.
+  /// The caller reuses cached rows for clean nodes and recomputes dirty
+  /// rows with verifier_ball_row / verifier_chain_len.
+  Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
+           VerificationConfig config,
+           std::vector<std::uint32_t> ball_counts,
+           std::vector<std::uint8_t> chain_len);
+
+  /// This node's k cumulative ball counts (the state the warm tier caches).
+  [[nodiscard]] std::span<const std::uint32_t> ball_row(
+      graph::NodeId v) const {
+    return {ball_counts_.data() + static_cast<std::size_t>(v) * k_, k_};
+  }
+
   /// The acceptance decision for a token (see file comment). `legit_fresh`
   /// is the value an honest node in the sender's position would forward at
   /// this step (0 = nothing). Updates verification-traffic and injection
@@ -84,5 +100,17 @@ class Verifier {
                                                const std::vector<bool>& byz_mask,
                                                graph::NodeId endpoint,
                                                std::uint32_t cap);
+
+/// One node's cumulative ball-count row — the primary constructor's
+/// per-node computation, exposed so the warm tier can refresh exactly the
+/// dirty rows. Writes overlay.k() values into `out`.
+void verifier_ball_row(const graph::Overlay& overlay, graph::NodeId v,
+                       std::uint32_t* out);
+
+/// One node's usable-chain length under `model` (0 for honest nodes).
+[[nodiscard]] std::uint8_t verifier_chain_len(const graph::Overlay& overlay,
+                                              const std::vector<bool>& byz_mask,
+                                              graph::NodeId v,
+                                              ChainModel model);
 
 }  // namespace byz::proto

@@ -1,0 +1,130 @@
+#include "protocols/warm_start.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/refine.hpp"
+
+namespace byz::proto {
+
+using graph::NodeId;
+
+WarmRun run_counting_warm(const graph::Overlay& overlay,
+                          const std::vector<bool>& byz_mask,
+                          adv::Strategy& strategy, const ProtocolConfig& cfg,
+                          std::uint64_t color_seed,
+                          std::span<const NodeId> dense_to_stable,
+                          std::span<const std::uint8_t> dirty_stable,
+                          double drift, const WarmConfig& warm_cfg,
+                          WarmState& state) {
+  const NodeId n = overlay.num_nodes();
+  const std::uint32_t k = overlay.k();
+  if (dense_to_stable.size() != n) {
+    throw std::invalid_argument("run_counting_warm: stable map size mismatch");
+  }
+  if (byz_mask.size() != n) {
+    throw std::invalid_argument("run_counting_warm: mask size mismatch");
+  }
+
+  WarmRun out;
+  const auto is_dirty = [&](NodeId stable) {
+    return stable < dirty_stable.size() && dirty_stable[stable] != 0;
+  };
+
+  // Cold-fallback decision: no state to seed from, a k-regime change, or
+  // too much drift for the cached state to be worth carrying.
+  const bool cold =
+      !state.has_run || state.k != k || drift > warm_cfg.max_drift;
+  if (!cold) {
+    // Report the seeded decision window (observability; E21 tables it).
+    for (NodeId v = 0; v < n; ++v) {
+      if (byz_mask[v]) continue;
+      const NodeId s = dense_to_stable[v];
+      if (s >= state.estimate.size() || state.estimate[s] == 0) continue;
+      ++out.estimates_seeded;
+      if (out.seed_min == 0 || state.estimate[s] < out.seed_min) {
+        out.seed_min = state.estimate[s];
+      }
+      out.seed_max = std::max(out.seed_max, state.estimate[s]);
+    }
+  }
+
+  // The Verifier is built HERE on both paths so its per-node rows can be
+  // cached into `state` afterwards. Cold: every row fresh. Warm: cached
+  // rows for clean nodes (ball counts and usable chains are k-ball-local,
+  // so a clean ball pins both), recomputed rows for dirty ones.
+  std::vector<std::uint32_t> rows(static_cast<std::size_t>(n) * k);
+  std::vector<std::uint8_t> chains(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId s = dense_to_stable[v];
+    const bool reuse = !cold && !is_dirty(s) && s < state.row_valid.size() &&
+                       state.row_valid[s] != 0;
+    if (reuse) {
+      std::copy_n(state.ball_counts.data() + static_cast<std::size_t>(s) * k,
+                  k, rows.data() + static_cast<std::size_t>(v) * k);
+      chains[v] = state.chain_len[s];
+      ++out.rows_reused;
+    } else {
+      verifier_ball_row(overlay, v,
+                        rows.data() + static_cast<std::size_t>(v) * k);
+      chains[v] = verifier_chain_len(overlay, byz_mask, v,
+                                     cfg.verification.chain_model);
+      ++out.rows_recomputed;
+    }
+  }
+  const Verifier verifier(overlay, byz_mask, cfg.verification, std::move(rows),
+                          std::move(chains));
+
+  out.warm_used = !cold;
+  RunControls controls;
+  controls.lazy_subphases = !cold;
+  controls.verifier = &verifier;
+  out.run = run_counting_with(overlay, byz_mask, strategy, cfg, color_seed,
+                              controls);
+
+  // Fold this run back into the stable-indexed state for the next epoch.
+  NodeId bound = 0;
+  for (const NodeId s : dense_to_stable) bound = std::max(bound, s);
+  ++bound;
+  if (state.estimate.size() < bound) {
+    state.estimate.resize(bound, 0);
+    state.refined.resize(bound, 0.0);
+    state.chain_len.resize(bound, 0);
+    state.row_valid.resize(bound, 0);
+  }
+  state.k = k;
+  if (state.ball_counts.size() < static_cast<std::size_t>(bound) * k) {
+    state.ball_counts.resize(static_cast<std::size_t>(bound) * k, 0);
+  }
+  const std::uint32_t d = overlay.params().d;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId s = dense_to_stable[v];
+    const auto row = verifier.ball_row(v);
+    std::copy(row.begin(), row.end(),
+              state.ball_counts.data() + static_cast<std::size_t>(s) * k);
+    state.chain_len[s] = static_cast<std::uint8_t>(verifier.usable_chain(v));
+    state.row_valid[s] = 1;
+
+    const std::uint32_t est = out.run.status[v] == NodeStatus::kDecided
+                                  ? out.run.estimate[v]
+                                  : 0;
+    if (est == 0) {
+      state.estimate[s] = 0;
+      state.refined[s] = 0.0;
+      continue;
+    }
+    // The refined readout is a pure function of the decided phase: re-run
+    // the calibration only where the phase actually moved.
+    if (state.estimate[s] == est) {
+      ++out.refine_reused;
+    } else {
+      state.refined[s] = refined_log_estimate(est, d);
+      ++out.refine_recomputed;
+    }
+    state.estimate[s] = est;
+  }
+  state.has_run = true;
+  return out;
+}
+
+}  // namespace byz::proto

@@ -1,0 +1,95 @@
+// Warm-started Algorithm 2 — protocol-level continuity across epochs.
+//
+// A long-running deployment re-estimates on every churn snapshot, but
+// consecutive snapshots differ by a handful of splices, so most per-node
+// protocol state is reusable. The warm tier exploits exactly the reuse
+// that is DECISION-EXACT — the warm run's status/estimate vectors are
+// bitwise identical to a cold run on the same snapshot (the epoch driver's
+// verify_warm mode asserts it on every epoch):
+//
+//   * Verifier state is k-ball-local (cumulative ball counts, usable
+//     Byzantine chains), so rows are cached by STABLE id across epochs and
+//     re-derived only for dirty-ball nodes — the splice-affected superset
+//     the DirtyBallTracker maintains.
+//   * Subphases are evaluated lazily: each phase stops at the first
+//     subphase after which every active node has fired. Fired flags are
+//     monotone within a phase and the only cross-subphase state, so the
+//     skipped subphases are pure flood cost with no decision content. In
+//     the phases below the termination point this collapses i*alpha_i
+//     subphases to the first couple, which is where a cold run burns most
+//     of its messages.
+//   * The refined readout (refine.hpp's model-aware calibration) is a pure
+//     function of the decided phase, so it is re-run only for nodes whose
+//     estimate actually moved.
+//
+// Whole-PHASE skipping — seeding the loop above phase 1 because last
+// epoch's minimum estimate was higher — is deliberately NOT done: colors
+// are drawn fresh every epoch, so a node with m live H-neighbors fails
+// phase i's threshold in every subphase with probability ~(1/2)^(m*alpha),
+// and under crash-heavy adversaries such low-m nodes decide at phase 1-2
+// with constant probability. "No one decides below last epoch's minimum"
+// is a positive-probability bet, not an invariant, and the repo's
+// equivalence contract does not take bets.
+//
+// The previous-epoch estimates still seed the run: they are carried per
+// stable id, define the expected decision window (reported for
+// observability and E21), and anchor the drift fallback — when membership
+// drift since the seeding run exceeds WarmConfig::max_drift, the cached
+// state is presumed stale and a full cold run re-baselines it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "protocols/fastpath.hpp"
+
+namespace byz::proto {
+
+struct WarmConfig {
+  /// Fall back to a cold run (no state reuse, eager subphases) when the
+  /// membership drift since the seeding run exceeds this fraction.
+  double max_drift = 0.05;
+};
+
+/// Per-node protocol state carried across epochs, indexed by STABLE id so
+/// it survives the dense-id compaction shifts churn causes. Owned by the
+/// caller (the epoch driver keeps one per deployment).
+struct WarmState {
+  bool has_run = false;
+  std::uint32_t k = 0;  ///< verifier row width the cache was built with
+  std::vector<std::uint32_t> estimate;     ///< decided phase (0 = none)
+  std::vector<double> refined;             ///< refined_log_estimate cache
+  std::vector<std::uint32_t> ball_counts;  ///< k cumulative counts per id
+  std::vector<std::uint8_t> chain_len;     ///< usable-chain cache
+  std::vector<std::uint8_t> row_valid;     ///< verifier rows present
+};
+
+struct WarmRun {
+  RunResult run;
+  bool warm_used = false;         ///< false = cold fallback taken
+  std::uint64_t estimates_seeded = 0;
+  std::uint32_t seed_min = 0;     ///< seeded-estimate window (0 = none)
+  std::uint32_t seed_max = 0;
+  std::uint64_t rows_reused = 0;
+  std::uint64_t rows_recomputed = 0;
+  std::uint64_t refine_reused = 0;
+  std::uint64_t refine_recomputed = 0;
+};
+
+/// Runs the counting protocol on `overlay`, warm-started from `state` when
+/// safe (see file comment). `dense_to_stable` maps the snapshot's dense ids
+/// to stable ids; `dirty_stable` marks the stable ids whose k-balls may
+/// have changed since the run that produced `state` (ids past its end are
+/// clean; an empty span = nothing changed). `drift` is the accumulated
+/// membership drift since that run. Updates `state` to this run's outcome
+/// on both the warm and the cold path.
+[[nodiscard]] WarmRun run_counting_warm(
+    const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
+    adv::Strategy& strategy, const ProtocolConfig& cfg,
+    std::uint64_t color_seed, std::span<const graph::NodeId> dense_to_stable,
+    std::span<const std::uint8_t> dirty_stable, double drift,
+    const WarmConfig& warm_cfg, WarmState& state);
+
+}  // namespace byz::proto

@@ -128,6 +128,57 @@ TEST(OverlayCache, SnapshotGenerationNeverAliasesTheStaticKey) {
                std::invalid_argument);
 }
 
+TEST(OverlayCache, EvictsOldGenerationsOfTheSameOverlayBeforeStaticEntries) {
+  // Generation-aware capacity policy: epoch snapshots of one evolving
+  // overlay supersede each other, so when a new snapshot lands at
+  // capacity, the oldest resident generation of the SAME (d, k, seed)
+  // family goes first — even when an unrelated static entry is older in
+  // plain LRU terms.
+  const std::uint64_t seed = 42;
+  dynamics::MutableOverlay dyn(96, 6, 0, seed);
+  util::Xoshiro256 rng(7);
+  auto snapshot_ptr = [&] {
+    return std::make_shared<const graph::Overlay>(
+        std::move(dyn.snapshot().overlay));
+  };
+  const auto gen1 = snapshot_ptr();
+  dyn.join(rng);
+  const auto gen2 = snapshot_ptr();
+  dyn.join(rng);
+  const auto gen3 = snapshot_ptr();
+
+  graph::OverlayParams static_params;
+  static_params.n = 128;
+  static_params.d = 6;
+  static_params.seed = 7;
+  const auto static_bytes =
+      graph::Overlay::build(static_params).memory_bytes();
+
+  // Budget that holds the static entry plus two snapshots, but not three:
+  // publishing gen3 must evict exactly one entry.
+  OverlayCache cache(static_bytes + gen1->memory_bytes() +
+                     gen2->memory_bytes() + gen3->memory_bytes() - 1);
+  const auto static_overlay = cache.get(static_params);  // LRU-oldest
+  (void)cache.put(gen1);
+  (void)cache.put(gen2);
+  (void)cache.put(gen3);
+
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  // The unrelated static entry survived despite being least recently used:
+  // a re-get is a pure hit, not a rebuild.
+  const auto misses_before = stats.misses;
+  const auto again = cache.get(static_params);
+  EXPECT_EQ(again.get(), static_overlay.get());
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  // The victim was the oldest same-family generation: re-publishing gen1
+  // inserts it anew (entry count grows) while gen2 was still resident.
+  (void)cache.put(gen1);
+  EXPECT_GE(cache.stats().entries, 3u);
+  EXPECT_GE(cache.stats().evictions, 2u);  // re-insert re-evicts in-family
+}
+
 TEST(OverlayCache, ClearDropsEntries) {
   OverlayCache cache;
   (void)cache.get(256, 6, 1);

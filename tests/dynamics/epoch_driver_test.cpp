@@ -125,5 +125,115 @@ TEST(EpochDriver, RecoveryEpochsHelper) {
   EXPECT_EQ(recovery_epochs(result, 9, 0.5), -1);  // past the trace
 }
 
+TEST(EpochDriver, RecoveryAtTheFinalEpochRequiresTheThresholdToBeMet) {
+  // Regression: a burst at the FINAL epoch must not read as recovered just
+  // because the trace ran out of epochs — -1 unless the band is actually
+  // re-entered, and 0 only when the final epoch itself clears it.
+  ChurnRunResult result;
+  const auto with_band = [](double frac) {
+    EpochStats stats;
+    stats.fresh.frac_in_band = frac;
+    return stats;
+  };
+  result.epochs = {with_band(1.0), with_band(1.0), with_band(0.4)};
+  EXPECT_EQ(recovery_epochs(result, 2, 0.9), -1);  // band never re-entered
+  result.epochs.back().fresh.frac_in_band = 0.95;
+  EXPECT_EQ(recovery_epochs(result, 2, 0.9), 0);  // genuinely met at burst
+  // Empty trace: nothing can have recovered.
+  ChurnRunResult empty;
+  EXPECT_EQ(recovery_epochs(empty, 0, 0.9), -1);
+}
+
+TEST(EpochDriver, AdaptiveSchedulerSkipsBelowTheDriftBound) {
+  auto cfg = small_config();
+  cfg.trace.epochs = 8;
+  cfg.incremental.incremental = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.adaptive = true;
+  // ~4 joins + ~4 leaves per epoch on ~128 nodes is ~6% drift: a 10%
+  // threshold re-estimates roughly every second epoch.
+  cfg.incremental.drift_threshold = 0.10;
+  const auto result = run_churn(cfg);
+
+  std::uint32_t estimated = 0;
+  EXPECT_TRUE(result.epochs.front().estimated);  // epoch 0 bootstraps
+  double last_drift = 0.0;
+  for (const auto& epoch : result.epochs) {
+    if (epoch.estimated) {
+      ++estimated;
+      EXPECT_GT(epoch.messages, 0u);
+    } else {
+      // Skipped epochs run no protocol but keep judging stale estimates.
+      EXPECT_EQ(epoch.messages, 0u);
+      EXPECT_EQ(epoch.fresh.honest, 0u);
+      EXPECT_GT(epoch.stale_nodes, 0u);
+      EXPECT_LT(epoch.drift, cfg.incremental.drift_threshold);
+      EXPECT_GT(epoch.drift, last_drift);  // drift accumulates while idle
+    }
+    last_drift = epoch.estimated ? 0.0 : epoch.drift;
+  }
+  EXPECT_LT(estimated, result.epochs.size());  // some epochs skipped
+  EXPECT_GE(estimated, 2u);                    // but not all
+}
+
+TEST(EpochDriver, IncrementalTiersPreserveTheColdResults) {
+  // The whole point of the incremental tier: same estimates, same accuracy,
+  // same staleness — less work. Compare a plain run against the fully
+  // instrumented incremental+warm run epoch by epoch.
+  const auto base = small_config();
+  auto inc = base;
+  inc.incremental.incremental = true;
+  inc.incremental.verify_snapshots = true;
+  inc.incremental.warm_start = true;
+  inc.incremental.verify_warm = true;
+
+  const auto plain = run_churn(base);
+  const auto warm = run_churn(inc);
+  ASSERT_EQ(plain.epochs.size(), warm.epochs.size());
+  for (std::size_t e = 0; e < plain.epochs.size(); ++e) {
+    const auto& a = plain.epochs[e];
+    const auto& b = warm.epochs[e];
+    EXPECT_EQ(a.n_true, b.n_true);
+    EXPECT_EQ(a.fresh.decided, b.fresh.decided);
+    EXPECT_EQ(a.fresh.in_band, b.fresh.in_band);
+    EXPECT_EQ(a.fresh.mean_ratio, b.fresh.mean_ratio);
+    EXPECT_EQ(a.stale_nodes, b.stale_nodes);
+    EXPECT_EQ(a.stale_in_band, b.stale_in_band);
+    // The cold shadow reproduces the plain run's traffic exactly; the warm
+    // run itself never exceeds it.
+    EXPECT_EQ(a.messages, b.messages_cold);
+    EXPECT_LE(b.messages, a.messages);
+    EXPECT_GT(b.balls_reused + b.balls_recomputed, 0u);
+  }
+}
+
+TEST(EpochDriver, AdaptiveCadenceStillEngagesTheWarmTier) {
+  // Regression: adaptive estimation fires exactly when accumulated drift
+  // crosses drift_threshold, so a warm fallback bound at or below the
+  // threshold would silently disable warm starts on EVERY estimated
+  // epoch. The driver raises the effective bound to 2x the threshold.
+  auto cfg = small_config();
+  cfg.trace.epochs = 8;
+  cfg.incremental.incremental = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;
+  cfg.incremental.adaptive = true;
+  cfg.incremental.drift_threshold = 0.10;  // >= the warm max_drift default
+  const auto result = run_churn(cfg);
+  bool any_warm = false;
+  for (const auto& epoch : result.epochs) {
+    any_warm = any_warm || epoch.warm_used;
+  }
+  EXPECT_TRUE(any_warm);
+}
+
+TEST(EpochDriver, RunEngineWithWarmStartRequiresVerifyWarm) {
+  auto cfg = small_config();
+  cfg.run_engine = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = false;
+  EXPECT_THROW((void)run_churn(cfg), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace byz::dynamics

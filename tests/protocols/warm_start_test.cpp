@@ -1,0 +1,136 @@
+// The warm tier's contract: run_counting_warm is DECISION-identical to the
+// cold run on every input — lazy subphase evaluation and cached verifier
+// rows change only message accounting — and the drift bound downgrades it
+// to a cold run rather than ever trusting stale state.
+#include "protocols/warm_start.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/categories.hpp"
+
+namespace byz::proto {
+namespace {
+
+using graph::NodeId;
+
+struct Fixture {
+  graph::Overlay overlay;
+  std::vector<bool> byz;
+  std::vector<NodeId> identity;  // dense == stable on a static overlay
+
+  explicit Fixture(NodeId n, std::uint64_t seed) {
+    graph::OverlayParams params;
+    params.n = n;
+    params.d = 6;
+    params.seed = seed;
+    overlay = graph::Overlay::build(params);
+    util::Xoshiro256 rng(seed ^ 0xB12);
+    byz = graph::random_byzantine_mask(n, n / 64, rng);
+    identity.resize(n);
+    std::iota(identity.begin(), identity.end(), NodeId{0});
+  }
+};
+
+TEST(WarmStart, ColdBootstrapThenWarmRerunMatchesDecisionsExactly) {
+  Fixture f(512, 21);
+  ProtocolConfig cfg;
+  WarmState state;
+  const std::uint64_t color_seed = 77;
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto boot = run_counting_warm(f.overlay, f.byz, *s1, cfg, color_seed,
+                                      f.identity, {}, 0.0, {}, state);
+  EXPECT_FALSE(boot.warm_used);  // nothing to seed from
+  EXPECT_TRUE(state.has_run);
+  EXPECT_EQ(boot.rows_recomputed, 512u);
+
+  // Second run on the same snapshot with a different color seed: warm path
+  // (all rows clean), decisions must equal the cold reference exactly.
+  const std::uint64_t color_seed2 = 78;
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto warm = run_counting_warm(f.overlay, f.byz, *s2, cfg, color_seed2,
+                                      f.identity, {}, 0.001, {}, state);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_EQ(warm.rows_reused, 512u);
+  EXPECT_EQ(warm.rows_recomputed, 0u);
+  EXPECT_GT(warm.estimates_seeded, 0u);
+  EXPECT_GE(warm.seed_min, 1u);
+  EXPECT_LE(warm.seed_min, warm.seed_max);
+
+  auto s3 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto cold = run_counting(f.overlay, f.byz, *s3, cfg, color_seed2);
+  EXPECT_EQ(warm.run.status, cold.status);
+  EXPECT_EQ(warm.run.estimate, cold.estimate);
+  EXPECT_EQ(warm.run.phases_executed, cold.phases_executed);
+  // The lazy tier never floods MORE than the schedule.
+  EXPECT_LE(warm.run.subphases_executed, warm.run.subphases_scheduled);
+  EXPECT_LE(warm.run.instr.total_messages(), cold.instr.total_messages());
+}
+
+TEST(WarmStart, DirtyNodesGetFreshVerifierRows) {
+  Fixture f(256, 5);
+  ProtocolConfig cfg;
+  WarmState state;
+  auto s1 = adv::make_strategy(adv::StrategyKind::kHonest);
+  (void)run_counting_warm(f.overlay, f.byz, *s1, cfg, 1, f.identity, {}, 0.0,
+                          {}, state);
+  std::vector<std::uint8_t> dirty(256, 0);
+  dirty[3] = dirty[40] = dirty[41] = 1;
+  auto s2 = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto warm = run_counting_warm(f.overlay, f.byz, *s2, cfg, 2,
+                                      f.identity, dirty, 0.01, {}, state);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_EQ(warm.rows_recomputed, 3u);
+  EXPECT_EQ(warm.rows_reused, 253u);
+}
+
+TEST(WarmStart, DriftBeyondTheBoundFallsBackCold) {
+  Fixture f(256, 9);
+  ProtocolConfig cfg;
+  WarmState state;
+  auto s1 = adv::make_strategy(adv::StrategyKind::kHonest);
+  (void)run_counting_warm(f.overlay, f.byz, *s1, cfg, 1, f.identity, {}, 0.0,
+                          {}, state);
+  WarmConfig warm_cfg;
+  warm_cfg.max_drift = 0.05;
+  auto s2 = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto run = run_counting_warm(f.overlay, f.byz, *s2, cfg, 2,
+                                     f.identity, {}, 0.2, warm_cfg, state);
+  EXPECT_FALSE(run.warm_used);
+  EXPECT_EQ(run.rows_recomputed, 256u);
+  EXPECT_EQ(run.run.subphases_executed, run.run.subphases_scheduled);
+}
+
+TEST(WarmStart, RefinementRerunsOnlyWhereTheEstimateMoved) {
+  Fixture f(256, 31);
+  ProtocolConfig cfg;
+  WarmState state;
+  auto s1 = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto boot = run_counting_warm(f.overlay, f.byz, *s1, cfg, 11,
+                                      f.identity, {}, 0.0, {}, state);
+  EXPECT_GT(boot.refine_recomputed, 0u);
+  EXPECT_EQ(boot.refine_reused, 0u);
+  // Identical snapshot AND color seed: every decided phase repeats, so the
+  // calibration is pure cache hits.
+  auto s2 = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto rerun = run_counting_warm(f.overlay, f.byz, *s2, cfg, 11,
+                                       f.identity, {}, 0.0, {}, state);
+  EXPECT_EQ(rerun.refine_recomputed, 0u);
+  EXPECT_EQ(rerun.refine_reused, boot.refine_recomputed);
+}
+
+TEST(WarmStart, RejectsMismatchedInputs) {
+  Fixture f(64, 1);
+  ProtocolConfig cfg;
+  WarmState state;
+  auto s = adv::make_strategy(adv::StrategyKind::kHonest);
+  std::vector<NodeId> short_map(63);
+  EXPECT_THROW((void)run_counting_warm(f.overlay, f.byz, *s, cfg, 1,
+                                       short_map, {}, 0.0, {}, state),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace byz::proto

@@ -1,0 +1,89 @@
+// The incremental tier's equivalence suite: on EVERY epoch snapshot of a
+// churn trace, (1) the incremental snapshot must be bitwise identical to
+// the full rebuild (verify_snapshots), (2) the warm-started protocol
+// decisions must equal the cold run's exactly (verify_warm — run_churn
+// throws on the first divergence), and (3) the message-level Engine must
+// still agree with the cold fast path (run_engine). One config exercises
+// all three tiers at once, across churn models and adversary strategies.
+#include <gtest/gtest.h>
+
+#include "dynamics/epoch_driver.hpp"
+
+namespace byz {
+namespace {
+
+struct Case {
+  dynamics::ChurnModel model;
+  adv::StrategyKind strategy;
+  adv::ChurnAdversary adversary;
+  std::uint64_t seed;
+};
+
+class WarmEquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(WarmEquivalenceTest, WarmColdAndEngineAgreeOnEverySnapshot) {
+  const Case c = GetParam();
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 160;
+  cfg.trace.epochs = 3;
+  cfg.trace.arrival_rate = 6.0;
+  cfg.trace.departure_rate = 6.0;
+  cfg.trace.model = c.model;
+  cfg.trace.burst_epoch = 1;
+  cfg.trace.burst_fraction = 0.2;
+  cfg.trace.min_n = 64;
+  cfg.trace.seed = c.seed;
+  cfg.d = 6;
+  cfg.delta = 0.7;
+  cfg.strategy = c.strategy;
+  cfg.churn_adversary = c.adversary;
+  cfg.seed = c.seed;
+  cfg.run_engine = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.verify_snapshots = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;
+  // Let the burst models through the warm path so divergence would show.
+  cfg.incremental.warm.max_drift = 0.5;
+
+  const auto result = dynamics::run_churn(cfg);  // throws on divergence
+  ASSERT_EQ(result.epochs.size(), cfg.trace.epochs);
+  bool any_warm = false;
+  for (std::uint32_t e = 0; e < result.epochs.size(); ++e) {
+    EXPECT_TRUE(result.epochs[e].engine_match)
+        << "engine/fastpath divergence at epoch " << e;
+    EXPECT_GT(result.epochs[e].messages_cold, 0u);
+    EXPECT_LE(result.epochs[e].messages, result.epochs[e].messages_cold);
+    any_warm = any_warm || result.epochs[e].warm_used;
+  }
+  EXPECT_TRUE(any_warm) << "warm path never engaged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChurnModels, WarmEquivalenceTest,
+    ::testing::Values(
+        Case{dynamics::ChurnModel::kSteady, adv::StrategyKind::kHonest,
+             adv::ChurnAdversary::kNone, 1},
+        Case{dynamics::ChurnModel::kSteady, adv::StrategyKind::kFakeColor,
+             adv::ChurnAdversary::kNone, 2},
+        Case{dynamics::ChurnModel::kBurst, adv::StrategyKind::kAdaptive,
+             adv::ChurnAdversary::kTargetedDeparture, 3},
+        Case{dynamics::ChurnModel::kSybilJoin, adv::StrategyKind::kFakeColor,
+             adv::ChurnAdversary::kSybilBurst, 4},
+        Case{dynamics::ChurnModel::kSybilJoin,
+             adv::StrategyKind::kCrashMaximizer, adv::ChurnAdversary::kEclipse,
+             5}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      const Case& c = info.param;
+      std::string name = std::string(dynamics::to_string(c.model)) + "_" +
+                         adv::to_string(c.strategy) + "_" +
+                         adv::to_string(c.adversary) + "_s" +
+                         std::to_string(c.seed);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace byz
