@@ -28,7 +28,18 @@
 // rows, lazy subphases) — decision-identical to the cold loop, cheaper per
 // epoch. --adaptive replaces the fixed per-epoch cadence with the
 // drift-adaptive scheduler: re-estimate when accumulated membership drift
-// crosses --drift-bound, coast on stale estimates below it.
+// crosses --drift-bound, coast on stale estimates below it. --eps-warm
+// (with --incremental) additionally skips warm runs' early phases,
+// spending the paper's ε·n outlier budget (--eps-budget, --eps-margin) on
+// flood savings; divergence stays within the budget by the warm tier's
+// accounting invariant (E25 asserts it against a cold shadow).
+//
+// --mid-run-churn applies each epoch's joins/leaves DURING its estimation
+// run — spread over the flood rounds — instead of between runs, under
+// --policy=silent (membership changes are silence until the next run) or
+// --policy=readmit (live neighbor resolution, joiners admitted at phase
+// boundaries). Incompatible with --incremental/--adaptive, which assume a
+// frozen snapshot per run.
 #include <algorithm>
 #include <cmath>
 #include <iostream>
@@ -60,6 +71,15 @@ byz::adv::ChurnAdversary parse_churn_adversary(const std::string& name) {
       " (try none, sybil-burst, targeted-departure, eclipse)");
 }
 
+byz::proto::MembershipPolicy parse_policy(const std::string& name) {
+  if (name == "silent") return byz::proto::MembershipPolicy::kTreatAsSilent;
+  if (name == "readmit") {
+    return byz::proto::MembershipPolicy::kReadmitNextPhase;
+  }
+  throw std::invalid_argument("unknown membership policy: " + name +
+                              " (try silent, readmit)");
+}
+
 /// The --churn mode: --trials independent churn runs through the shared
 /// scheduler, aggregated per epoch.
 int run_churn_mode(const byz::util::ArgParser& args) {
@@ -81,10 +101,29 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   cfg.churn_adversary = parse_churn_adversary(args.str("adversary"));
   const bool incremental = args.flag("incremental");
   const bool adaptive = args.flag("adaptive");
+  const bool eps_warm = args.flag("eps-warm");
+  const bool mid_run = args.flag("mid-run-churn");
   cfg.incremental.incremental = incremental;
   cfg.incremental.warm_start = incremental;
   cfg.incremental.adaptive = adaptive;
   cfg.incremental.drift_threshold = args.real("drift-bound");
+  cfg.incremental.eps_warm = eps_warm;
+  cfg.incremental.eps_budget = args.real("eps-budget");
+  cfg.incremental.eps_margin =
+      static_cast<std::uint32_t>(args.integer("eps-margin"));
+  cfg.mid_run.enabled = mid_run;
+  cfg.mid_run.policy = parse_policy(args.str("policy"));
+  if (eps_warm && !incremental) {
+    std::cerr << "size_service: --eps-warm needs the warm tier "
+                 "(pass --incremental)\n";
+    return 2;
+  }
+  if (mid_run && (incremental || adaptive)) {
+    std::cerr << "size_service: --mid-run-churn applies churn DURING each "
+                 "run and cannot be combined with --incremental/--adaptive "
+                 "(they assume a frozen snapshot per run)\n";
+    return 2;
+  }
 
   const auto seed = static_cast<std::uint64_t>(args.integer("seed"));
   const auto trials = static_cast<std::uint32_t>(args.integer("trials"));
@@ -104,16 +143,23 @@ int run_churn_mode(const byz::util::ArgParser& args) {
       " deployments, " + std::to_string(scheduler.jobs()) + " workers";
   if (incremental) title += ", incremental tier";
   if (adaptive) title += ", adaptive cadence";
+  if (eps_warm) title += ", eps-warm";
+  if (mid_run) {
+    title += std::string(", mid-run churn [") +
+             proto::to_string(cfg.mid_run.policy) + "]";
+  }
   util::Table table(title + ")");
   std::vector<std::string> columns = {
       "epoch",         "n(t)",           "byz",  "joins", "leaves",
       "fresh in-band", "stale in-band",  "mean est/log2n", "msgs"};
   if (adaptive) columns.push_back("estimated");
   if (incremental) columns.push_back("balls redone");
+  if (eps_warm) columns.push_back("entry phase");
+  if (mid_run) columns.push_back("events mid-run");
   table.columns(columns);
   for (std::uint32_t e = 0; e < cfg.trace.epochs; ++e) {
     util::OnlineStats n_t, byz_n, joins, leaves, fresh, stale, ratio, msgs;
-    util::OnlineStats estimated, redone;
+    util::OnlineStats estimated, redone, entry, applied_frac;
     for (const auto& run : runs) {
       const auto& ep = run.epochs[e];
       n_t.add(static_cast<double>(ep.n_true));
@@ -127,6 +173,13 @@ int run_churn_mode(const byz::util::ArgParser& args) {
         ratio.add(ep.fresh.mean_ratio);
         redone.add(static_cast<double>(ep.balls_recomputed) /
                    static_cast<double>(ep.n_true));
+      }
+      if (ep.eps_used) entry.add(static_cast<double>(ep.eps_entry_phase));
+      const std::uint64_t events =
+          ep.midrun_events_applied + ep.midrun_events_flushed;
+      if (events > 0) {
+        applied_frac.add(static_cast<double>(ep.midrun_events_applied) /
+                         static_cast<double>(events));
       }
       // Runs with no carried-over estimates contribute nothing (averaging
       // in 0.0 would bias the column toward zero).
@@ -153,6 +206,16 @@ int run_churn_mode(const byz::util::ArgParser& args) {
                    ? std::string("-")
                    : util::format_double(100.0 * redone.mean(), 1) + "%");
     }
+    if (eps_warm) {
+      row.cell(entry.count() == 0 ? std::string("-")
+                                  : util::format_double(entry.mean(), 2));
+    }
+    if (mid_run) {
+      row.cell(applied_frac.count() == 0
+                   ? std::string("-")
+                   : util::format_double(100.0 * applied_frac.mean(), 1) +
+                         "% live");
+    }
   }
   std::string note =
       "Each epoch applies the trace's joins/leaves to the mutable "
@@ -168,6 +231,17 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   if (adaptive) {
     note += " Adaptive cadence: epochs below the drift bound skip "
             "re-estimation and coast on stale estimates.";
+  }
+  if (eps_warm) {
+    note += " eps-warm: warm runs enter the phase loop at the "
+            "budget-bounded quantile of the seeded estimates ('entry "
+            "phase'), trading up to eps*n divergent decisions for the "
+            "skipped early-phase floods.";
+  }
+  if (mid_run) {
+    note += " Mid-run churn: the epoch's events strike DURING the run at "
+            "scheduled flood rounds ('events mid-run' = share the run "
+            "reached before terminating; the rest apply right after).";
   }
   table.note(note);
   std::cout << table;
@@ -208,6 +282,21 @@ int main(int argc, char** argv) {
   args.add_option("drift-bound", "adaptive cadence: drift fraction that "
                                  "triggers re-estimation",
                   "0.05");
+  args.add_flag("eps-warm", "churn mode (with --incremental): skip warm "
+                            "runs' early phases, spending the paper's "
+                            "eps*n outlier budget on flood savings");
+  args.add_option("eps-budget", "eps-warm: divergence budget as a fraction "
+                                "of honest nodes",
+                  "0.1");
+  args.add_option("eps-margin", "eps-warm: safety phases below the "
+                                "quantile entry",
+                  "1");
+  args.add_flag("mid-run-churn", "churn mode: apply each epoch's "
+                                 "joins/leaves DURING its estimation run "
+                                 "(not combinable with --incremental/"
+                                 "--adaptive)");
+  args.add_option("policy", "mid-run membership policy: silent, readmit",
+                  "readmit");
 
   graph::NodeId n;
   std::uint32_t d;

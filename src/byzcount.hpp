@@ -30,6 +30,7 @@
 #include "bench_core/scheduler.hpp"      // IWYU pragma: export
 #include "dynamics/churn_trace.hpp"      // IWYU pragma: export
 #include "dynamics/epoch_driver.hpp"     // IWYU pragma: export
+#include "dynamics/midrun.hpp"           // IWYU pragma: export
 #include "dynamics/mutable_overlay.hpp"  // IWYU pragma: export
 #include "graph/bfs.hpp"                 // IWYU pragma: export
 #include "graph/categories.hpp"          // IWYU pragma: export
@@ -47,6 +48,7 @@
 #include "protocols/estimate.hpp"        // IWYU pragma: export
 #include "protocols/fastpath.hpp"        // IWYU pragma: export
 #include "protocols/flooding.hpp"        // IWYU pragma: export
+#include "protocols/midrun.hpp"          // IWYU pragma: export
 #include "protocols/neighborhood.hpp"    // IWYU pragma: export
 #include "protocols/refine.hpp"          // IWYU pragma: export
 #include "protocols/schedule.hpp"        // IWYU pragma: export

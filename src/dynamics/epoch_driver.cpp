@@ -22,6 +22,7 @@ constexpr std::uint64_t kOverlayStream = 0x0B00;
 constexpr std::uint64_t kPlacementStream = 0x0B12;
 constexpr std::uint64_t kChurnStream = 0xC002;
 constexpr std::uint64_t kColorStream = 0xE000;
+constexpr std::uint64_t kMidRunStream = 0x31D1;
 
 bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
   if (a.status != b.status || a.estimate != b.estimate) return false;
@@ -46,6 +47,18 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     throw std::invalid_argument(
         "run_churn: run_engine with warm_start requires verify_warm (the "
         "message-level Engine is compared against the cold tier)");
+  }
+  if (inc_cfg.eps_warm && !inc_cfg.warm_start) {
+    throw std::invalid_argument(
+        "run_churn: eps_warm is a mode of the warm tier (enable warm_start)");
+  }
+  if (cfg.mid_run.enabled &&
+      (inc_cfg.incremental || inc_cfg.warm_start || inc_cfg.verify_snapshots ||
+       inc_cfg.verify_warm || inc_cfg.adaptive || cfg.run_engine)) {
+    throw std::invalid_argument(
+        "run_churn: mid_run applies churn DURING each run — the incremental "
+        "tier, adaptive cadence, and the message-level Engine all assume a "
+        "frozen snapshot per run and cannot be combined with it");
   }
 
   ChurnRunResult out;
@@ -80,6 +93,85 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   out.epochs.reserve(out.trace.epochs.size());
   for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
     const ChurnEpoch& epoch = out.trace.epochs[e];
+
+    if (cfg.mid_run.enabled) {
+      // Mid-protocol churn: the epoch's events are spread over the run's
+      // expected flood rounds and applied WHILE it floods; whatever the
+      // run never reaches is flushed afterwards, so the epoch ends in the
+      // same overlay state as the between-runs path.
+      const NodeId n_before = overlay.num_alive();
+      const std::uint64_t horizon = expected_horizon_rounds(
+          n_before, cfg.d, cfg.protocol.schedule);
+      const ChurnSchedule schedule = derive_schedule(
+          epoch, horizon, util::mix_seed(cfg.seed, kMidRunStream + e));
+      const std::uint64_t color_seed =
+          util::mix_seed(cfg.seed, kColorStream + e);
+      auto strategy = adv::make_strategy(cfg.strategy);
+      MidRunConfig mid_cfg;
+      mid_cfg.policy = cfg.mid_run.policy;
+      auto outcome = run_counting_midrun(overlay, byz, *strategy,
+                                         cfg.protocol, color_seed, schedule,
+                                         mid_cfg, cfg.churn_adversary,
+                                         churn_rng);
+      if (overlay.num_alive() != epoch.n_after) {
+        throw std::logic_error(
+            "run_churn: mid-run replay diverged from trace n_after");
+      }
+      last_estimate.resize(overlay.id_bound(), 0);
+
+      EpochStats stats;
+      const auto alive = overlay.alive_nodes();
+      const auto n = static_cast<NodeId>(alive.size());
+      stats.n_true = n;
+      stats.joins = epoch.joins + epoch.sybil_joins;
+      stats.leaves = epoch.leaves;
+      acc_drift += static_cast<double>(stats.joins + stats.leaves) /
+                   n_last_estimated;
+      stats.drift = acc_drift;
+      for (const NodeId s : alive) {
+        if (byz[s]) ++stats.byz_alive;
+      }
+      // Staleness of the estimates carried INTO this epoch, judged against
+      // the epoch-end truth (last_estimate is updated below, after this).
+      const double log_n = std::log2(static_cast<double>(n));
+      for (const NodeId s : alive) {
+        if (byz[s]) continue;
+        const std::uint32_t est = last_estimate[s];
+        if (est == 0) continue;
+        ++stats.stale_nodes;
+        const double ratio = static_cast<double>(est) / log_n;
+        if (ratio >= cfg.band_lo && ratio <= cfg.band_hi) {
+          ++stats.stale_in_band;
+        }
+      }
+      stats.stale_frac_in_band =
+          stats.stale_nodes == 0
+              ? 0.0
+              : static_cast<double>(stats.stale_in_band) /
+                    static_cast<double>(stats.stale_nodes);
+
+      stats.fresh =
+          proto::summarize_accuracy(outcome.run, n, cfg.band_lo, cfg.band_hi);
+      stats.messages = outcome.run.instr.total_messages();
+      stats.subphases_scheduled = outcome.run.subphases_scheduled;
+      stats.subphases_executed = outcome.run.subphases_executed;
+      stats.balls_recomputed = n_before;  // full snapshot at run start
+      stats.midrun_events_applied = outcome.stats.events_applied;
+      stats.midrun_events_flushed = outcome.stats.events_flushed;
+      stats.midrun_admitted = outcome.stats.admitted;
+      stats.midrun_verifier_refreshes = outcome.stats.verifier_refreshes;
+      stats.verify_rows_recomputed = outcome.stats.rows_recomputed;
+
+      for (std::size_t i = 0; i < outcome.run.status.size(); ++i) {
+        if (outcome.run.status[i] == proto::NodeStatus::kDecided) {
+          last_estimate[outcome.run_to_stable[i]] = outcome.run.estimate[i];
+        }
+      }
+      acc_drift = 0.0;
+      n_last_estimated = static_cast<double>(n);
+      out.epochs.push_back(stats);
+      continue;
+    }
 
     // Joins first (honest, then sybil), then departures — the bookkeeping
     // order generate_trace assumed when it clamped the counts.
@@ -180,6 +272,9 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         warm_cfg.max_drift =
             std::max(warm_cfg.max_drift, 2.0 * inc_cfg.drift_threshold);
       }
+      warm_cfg.eps_phase_skip = inc_cfg.eps_warm;
+      warm_cfg.eps_budget = inc_cfg.eps_budget;
+      warm_cfg.eps_margin = inc_cfg.eps_margin;
       auto warm = proto::run_counting_warm(
           snap.overlay, dense_byz, *strategy, cfg.protocol, color_seed,
           snap.dense_to_stable, inc->last_dirty(), acc_drift, warm_cfg,
@@ -188,16 +283,41 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       stats.warm_used = warm.warm_used;
       stats.verify_rows_reused = warm.rows_reused;
       stats.verify_rows_recomputed = warm.rows_recomputed;
+      stats.eps_used = warm.eps_used;
+      stats.eps_entry_phase = warm.eps_entry_phase;
+      stats.eps_budget_nodes = warm.eps_budget_nodes;
+      stats.eps_skipped_subphases = warm.eps_skipped_subphases;
       if (inc_cfg.verify_warm) {
         auto cold_strategy = adv::make_strategy(cfg.strategy);
         cold = proto::run_counting(snap.overlay, dense_byz, *cold_strategy,
                                    cfg.protocol, color_seed);
         have_cold = true;
         stats.messages_cold = cold.instr.total_messages();
-        if (cold.status != run.status || cold.estimate != run.estimate) {
-          throw std::logic_error(
-              "run_churn: warm-started decisions diverged from the cold run "
-              "at epoch " + std::to_string(e));
+        if (!warm.eps_used) {
+          // Exact tier: the equivalence contract is bitwise.
+          if (cold.status != run.status || cold.estimate != run.estimate) {
+            throw std::logic_error(
+                "run_churn: warm-started decisions diverged from the cold "
+                "run at epoch " + std::to_string(e));
+          }
+        } else {
+          // ε-warm tier: divergence is allowed but must stay within the
+          // paper's outlier budget — the accounting invariant.
+          std::uint64_t divergent = 0;
+          for (NodeId i = 0; i < n; ++i) {
+            if (cold.status[i] != run.status[i] ||
+                cold.estimate[i] != run.estimate[i]) {
+              ++divergent;
+            }
+          }
+          stats.eps_divergent = divergent;
+          if (divergent > warm.eps_budget_nodes) {
+            throw std::logic_error(
+                "run_churn: eps-warm divergence " + std::to_string(divergent) +
+                " exceeds the ε·n budget " +
+                std::to_string(warm.eps_budget_nodes) + " at epoch " +
+                std::to_string(e));
+          }
         }
       }
     } else {

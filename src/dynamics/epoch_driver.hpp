@@ -1,11 +1,26 @@
 // Epoch driver: replays a churn trace against a MutableOverlay and re-runs
-// the counting protocol on every epoch snapshot — the continuous-estimation
-// loop a long-running deployment would operate, versus the repo's one-shot
+// the counting protocol every epoch — the continuous-estimation loop a
+// long-running deployment would operate, versus the repo's one-shot
 // experiments. Per epoch it records fresh accuracy against the true n(t),
 // the STALENESS of the previous epoch's estimates (how wrong a node that
 // skips re-estimation becomes as the network drifts), and optionally runs
 // the message-level sim::Engine on the same snapshot to assert the two
 // protocol tiers still agree decision-for-decision under churn.
+//
+// The driver selects between the repo's churn models and estimation tiers
+// (docs/ARCHITECTURE.md has the full matrix):
+//
+//   * snapshot churn (default): events apply BETWEEN runs; each run
+//     executes on a frozen snapshot. IncrementalConfig layers the
+//     incremental tiers on top — dirty-ball snapshots, the decision-exact
+//     warm start, the ε-warm phase skip (divergence accounted against the
+//     paper's ε·n outlier budget and asserted when verify_warm is on),
+//     and drift-adaptive cadence.
+//   * mid-run churn (ChurnRunConfig::mid_run): the epoch's events are
+//     spread over the run's expected flood rounds and strike DURING it
+//     (dynamics/midrun.*), under a MembershipPolicy that decides how the
+//     in-flight run reacts. Mutually exclusive with the incremental tier
+//     and run_engine, which assume a frozen snapshot per run.
 //
 // Everything is derived from cfg.seed with SplitMix64 streams and replayed
 // sequentially, so a churn run is bitwise reproducible regardless of how
@@ -18,6 +33,7 @@
 #include "adversary/churn.hpp"
 #include "adversary/strategies.hpp"
 #include "dynamics/churn_trace.hpp"
+#include "dynamics/midrun.hpp"
 #include "dynamics/mutable_overlay.hpp"
 #include "protocols/estimate.hpp"
 #include "protocols/fastpath.hpp"
@@ -39,8 +55,19 @@ struct IncrementalConfig {
   bool warm_start = false;
   /// Shadow-run the cold protocol on every snapshot and assert the warm
   /// decisions (status + estimates) match exactly; also fills
-  /// EpochStats::messages_cold for parity reporting.
+  /// EpochStats::messages_cold for parity reporting. With eps_warm the
+  /// assertion weakens to the ε accounting invariant: divergent decisions
+  /// <= floor(eps_budget * honest members) per epoch (throws past it).
   bool verify_warm = false;
+  /// ε-warm tier (requires warm_start): skip the early phases of warm runs
+  /// entirely, spending the paper's ε·n outlier budget on phase-skip
+  /// savings (proto::WarmConfig::eps_*; E25 measures the trade).
+  bool eps_warm = false;
+  /// Divergence budget as a fraction of honest members per epoch.
+  double eps_budget = 0.10;
+  /// Safety margin below the quantile-chosen entry phase (see
+  /// proto::WarmConfig::eps_margin).
+  std::uint32_t eps_margin = 1;
   /// Warm safety bound (see proto::WarmConfig). With `adaptive` on, the
   /// effective bound is raised to at least 2*drift_threshold: estimating
   /// AT the threshold is the scheduler's cadence, not excess drift.
@@ -73,6 +100,17 @@ struct ChurnRunConfig {
   /// scheduling). run_engine with warm_start requires verify_warm: the
   /// message-level Engine is compared against the cold tier.
   IncrementalConfig incremental;
+  /// Mid-protocol churn (dynamics/midrun.*): apply each epoch's
+  /// joins/leaves DURING its estimation run — spread over the run's
+  /// expected flood rounds — instead of between runs. Mutually exclusive
+  /// with the incremental tier and run_engine (neither models a mutating
+  /// overlay mid-run); run_churn throws on the combination.
+  struct MidRunMode {
+    bool enabled = false;
+    proto::MembershipPolicy policy =
+        proto::MembershipPolicy::kReadmitNextPhase;
+  };
+  MidRunMode mid_run;
 };
 
 struct EpochStats {
@@ -98,6 +136,19 @@ struct EpochStats {
   std::uint64_t verify_rows_reused = 0;     ///< verifier rows carried over
   std::uint64_t verify_rows_recomputed = 0; ///< dirty-ball verifier rows
   std::uint64_t messages_cold = 0;        ///< cold shadow run (verify_warm)
+  // --- ε-warm tier ---
+  bool eps_used = false;             ///< the epoch's run skipped phases
+  std::uint32_t eps_entry_phase = 1;
+  std::uint64_t eps_budget_nodes = 0;       ///< floor(eps_budget * honest)
+  std::uint64_t eps_divergent = 0;   ///< decisions differing from the cold
+                                     ///< shadow (verify_warm only); the
+                                     ///< driver throws past the budget
+  std::uint64_t eps_skipped_subphases = 0;
+  // --- mid-run churn ---
+  std::uint64_t midrun_events_applied = 0;  ///< at their scheduled round
+  std::uint64_t midrun_events_flushed = 0;  ///< after early termination
+  std::uint64_t midrun_admitted = 0;        ///< joiners admitted mid-run
+  std::uint64_t midrun_verifier_refreshes = 0;
 };
 
 struct ChurnRunResult {

@@ -1,0 +1,403 @@
+#include "dynamics/midrun.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "protocols/schedule.hpp"
+#include "protocols/verification.hpp"
+
+namespace byz::dynamics {
+
+using graph::NodeId;
+
+namespace {
+
+/// Seed-stream tag for schedule derivation (distinct from epoch_driver's).
+constexpr std::uint64_t kScheduleStream = 0x31D0;
+
+std::uint32_t count_kind(const ChurnSchedule& s, MidRunEventKind kind) {
+  std::uint32_t c = 0;
+  for (const auto& e : s.events) {
+    if (e.kind == kind) ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::uint32_t ChurnSchedule::joins() const noexcept {
+  return count_kind(*this, MidRunEventKind::kJoin);
+}
+std::uint32_t ChurnSchedule::sybil_joins() const noexcept {
+  return count_kind(*this, MidRunEventKind::kSybilJoin);
+}
+std::uint32_t ChurnSchedule::leaves() const noexcept {
+  return count_kind(*this, MidRunEventKind::kLeave);
+}
+
+ChurnSchedule derive_schedule(const ChurnEpoch& epoch,
+                              std::uint64_t horizon_rounds,
+                              std::uint64_t seed) {
+  if (horizon_rounds == 0) horizon_rounds = 1;
+  ChurnSchedule out;
+  util::Xoshiro256 rng(util::mix_seed(seed, kScheduleStream));
+  const auto emit = [&](std::uint32_t count, MidRunEventKind kind) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.events.push_back({rng.below(horizon_rounds), kind});
+    }
+  };
+  // Generation order joins -> sybil joins -> leaves; the stable sort keeps
+  // that order within a round, matching the trace's bookkeeping order.
+  emit(epoch.joins, MidRunEventKind::kJoin);
+  emit(epoch.sybil_joins, MidRunEventKind::kSybilJoin);
+  emit(epoch.leaves, MidRunEventKind::kLeave);
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const MidRunEvent& a, const MidRunEvent& b) {
+                     return a.round < b.round;
+                   });
+  return out;
+}
+
+std::uint64_t expected_horizon_rounds(NodeId n, std::uint32_t d,
+                                      const proto::ScheduleConfig& schedule) {
+  const double logs = std::log2(static_cast<double>(n)) /
+                      std::log2(static_cast<double>(d) - 1.0);
+  const auto decide_phase =
+      static_cast<std::uint32_t>(std::ceil(logs)) + 2;
+  return proto::rounds_through_phase(decide_phase, d, schedule);
+}
+
+LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
+                                 std::vector<bool>& stable_byz,
+                                 ChurnSchedule schedule,
+                                 const MidRunConfig& config,
+                                 proto::VerificationConfig verification,
+                                 adv::ChurnAdversary adversary,
+                                 util::Xoshiro256& rng)
+    : overlay_(&overlay),
+      stable_byz_(&stable_byz),
+      schedule_(std::move(schedule)),
+      config_(config),
+      verification_(verification),
+      adversary_(adversary),
+      rng_(&rng) {
+  if (stable_byz.size() != overlay.id_bound()) {
+    throw std::invalid_argument("LiveOverlayFeed: stable mask size mismatch");
+  }
+  snapshot_.emplace(overlay.snapshot());
+  const auto& snap = *snapshot_;
+  n0_ = snap.overlay.num_nodes();
+  const std::uint32_t total_joins =
+      schedule_.joins() + schedule_.sybil_joins();
+  nb_ = n0_ + static_cast<NodeId>(total_joins);
+  next_join_run_id_ = n0_;
+  k_ = snap.overlay.k();
+
+  run_to_stable_.assign(nb_, graph::kInvalidNode);
+  stable_to_run_.assign(overlay.id_bound(), graph::kInvalidNode);
+  for (NodeId v = 0; v < n0_; ++v) {
+    run_to_stable_[v] = snap.dense_to_stable[v];
+    stable_to_run_[snap.dense_to_stable[v]] = v;
+  }
+
+  // The run-id Byzantine mask is fixed up front: snapshot members inherit
+  // their stable flag; joiner slots are Byzantine iff their scheduled
+  // event is a sybil join (slots are assigned in schedule order).
+  run_byz_.assign(nb_, false);
+  for (NodeId v = 0; v < n0_; ++v) {
+    run_byz_[v] = stable_byz[snap.dense_to_stable[v]];
+  }
+  NodeId slot = n0_;
+  for (const auto& e : schedule_.events) {
+    if (e.kind == MidRunEventKind::kLeave) continue;
+    run_byz_[slot++] = (e.kind == MidRunEventKind::kSybilJoin);
+  }
+
+  alive_.assign(nb_, 0);
+  std::fill(alive_.begin(), alive_.begin() + n0_, 1);
+  departed_.assign(nb_, 0);
+
+  adj_.resize(nb_);
+  const auto& hs = snap.overlay.h_simple();
+  for (NodeId v = 0; v < n0_; ++v) {
+    const auto nbrs = hs.neighbors(v);
+    adj_[v].assign(nbrs.begin(), nbrs.end());
+  }
+
+  // Run-start verifier state: exactly what the primary Verifier
+  // constructor would compute on the snapshot (E24's parity rests on it).
+  rows_.assign(static_cast<std::size_t>(nb_) * k_, 0);
+  chains_.assign(nb_, 0);
+  const std::vector<bool> dense_byz(run_byz_.begin(),
+                                    run_byz_.begin() + n0_);
+  for (NodeId v = 0; v < n0_; ++v) {
+    proto::verifier_ball_row(snap.overlay, v,
+                             rows_.data() + static_cast<std::size_t>(v) * k_);
+    chains_[v] = proto::verifier_chain_len(snap.overlay, dense_byz, v,
+                                           verification_.chain_model);
+  }
+  verifier_.emplace(snap.overlay, run_byz_, verification_, rows_, chains_);
+}
+
+void LiveOverlayFeed::begin_round(const proto::RoundClock& clock) {
+  while (next_event_ < schedule_.events.size() &&
+         schedule_.events[next_event_].round <= clock.round) {
+    apply_event(schedule_.events[next_event_]);
+    ++next_event_;
+    ++stats_.events_applied;
+  }
+}
+
+void LiveOverlayFeed::apply_event(const MidRunEvent& event) {
+  switch (event.kind) {
+    case MidRunEventKind::kJoin:
+      apply_join(/*byzantine=*/false);
+      return;
+    case MidRunEventKind::kSybilJoin:
+      apply_join(/*byzantine=*/true);
+      return;
+    case MidRunEventKind::kLeave:
+      if (!apply_leave()) {
+        deferred_.push_back(event);
+        ++stats_.events_deferred;
+      }
+      return;
+  }
+}
+
+void LiveOverlayFeed::apply_join(bool byzantine) {
+  const NodeId run_id = next_join_run_id_++;
+  const auto anchors =
+      adv::plan_join_anchors(*overlay_, *stable_byz_, adversary_, byzantine,
+                             *rng_);
+  // The splice replaces each (anchor, successor) ring edge; those are the
+  // nodes whose H-neighborhoods change.
+  std::vector<NodeId> touched;
+  for (std::uint32_t c = 0; c < overlay_->num_cycles(); ++c) {
+    touched.push_back(anchors[c]);
+    touched.push_back(overlay_->successor(c, anchors[c]));
+  }
+  const NodeId stable = overlay_->join_at(anchors);
+  stable_byz_->push_back(byzantine);
+  if (run_byz_[run_id] != byzantine) {
+    throw std::logic_error("LiveOverlayFeed: join slot/schedule mismatch");
+  }
+  stable_to_run_.resize(overlay_->id_bound(), graph::kInvalidNode);
+  stable_to_run_[stable] = run_id;
+  run_to_stable_[run_id] = stable;
+  ++stats_.joins;
+
+  if (config_.policy == proto::MembershipPolicy::kTreatAsSilent) {
+    // Invisible to the in-flight run: stays !alive, frozen adjacency.
+    return;
+  }
+  alive_[run_id] = 1;
+  pending_admit_.push_back(run_id);
+  rebuild_adjacency(run_id);
+  for (const NodeId s : touched) {
+    const NodeId r = stable_to_run_[s];
+    if (r != graph::kInvalidNode) rebuild_adjacency(r);
+  }
+  rows_dirty_ = true;
+}
+
+bool LiveOverlayFeed::apply_leave() {
+  // Membership floor: the trace clamp guarantees the epoch's END state,
+  // but a mid-run reordering can hit the floor transiently; such leaves
+  // are deferred to the flush (after the epoch's joins).
+  if (overlay_->num_alive() <= 4) return false;
+  const NodeId victim =
+      adv::pick_departure(*overlay_, *stable_byz_, adversary_, *rng_);
+  std::vector<NodeId> touched;
+  for (std::uint32_t c = 0; c < overlay_->num_cycles(); ++c) {
+    touched.push_back(overlay_->predecessor(c, victim));
+    touched.push_back(overlay_->successor(c, victim));
+  }
+  overlay_->leave(victim);
+  const NodeId run_id = stable_to_run_[victim];
+  if (run_id == graph::kInvalidNode) {
+    throw std::logic_error("LiveOverlayFeed: departure of unmapped node");
+  }
+  alive_[run_id] = 0;
+  departed_[run_id] = 1;
+  ++stats_.leaves;
+  // A joiner that departs before its admission boundary was never a
+  // participant: drop it from the pending list so the admitted stats
+  // count only nodes that actually became generators.
+  std::erase(pending_admit_, run_id);
+
+  if (config_.policy == proto::MembershipPolicy::kTreatAsSilent) {
+    // Frozen view: neighbors keep listing the victim; the alive() gate in
+    // the kernel turns it into pure silence.
+    return true;
+  }
+  adj_[run_id].clear();
+  for (const NodeId s : touched) {
+    const NodeId r = stable_to_run_[s];
+    if (r != graph::kInvalidNode) rebuild_adjacency(r);
+  }
+  rows_dirty_ = true;
+  return true;
+}
+
+void LiveOverlayFeed::rebuild_adjacency(NodeId run_id) {
+  const NodeId stable = run_to_stable_[run_id];
+  auto& row = adj_[run_id];
+  row.clear();
+  if (stable == graph::kInvalidNode || !overlay_->is_alive(stable)) return;
+  for (std::uint32_t c = 0; c < overlay_->num_cycles(); ++c) {
+    for (const NodeId s :
+         {overlay_->successor(c, stable), overlay_->predecessor(c, stable)}) {
+      const NodeId r = stable_to_run_[s];
+      if (r != graph::kInvalidNode && r != run_id) row.push_back(r);
+    }
+  }
+  std::sort(row.begin(), row.end());
+  row.erase(std::unique(row.begin(), row.end()), row.end());
+}
+
+void LiveOverlayFeed::recompute_row(NodeId run_id) {
+  // Bounded BFS on the live run-id adjacency: cumulative |B_H(v, r)| for
+  // r = 1..k, and the usable Byzantine chain under the configured model —
+  // the live-topology equivalents of verifier_ball_row/verifier_chain_len.
+  if (bfs_mark_.size() < nb_) bfs_mark_.assign(nb_, 0);
+  bfs_queue_.clear();
+  bfs_queue_.push_back(run_id);
+  bfs_mark_[run_id] = 1;
+  std::uint32_t cum = 1;
+  std::uint32_t byz_within_k1 = 0;
+  std::size_t head = 0;
+  for (std::uint32_t depth = 1; depth <= k_; ++depth) {
+    const std::size_t level_end = bfs_queue_.size();
+    while (head < level_end) {
+      const NodeId u = bfs_queue_[head++];
+      for (const NodeId w : adj_[u]) {
+        if (bfs_mark_[w] != 0 || alive_[w] == 0) continue;
+        bfs_mark_[w] = 1;
+        bfs_queue_.push_back(w);
+        ++cum;
+        if (depth <= k_ - 1 && run_byz_[w]) ++byz_within_k1;
+      }
+    }
+    rows_[static_cast<std::size_t>(run_id) * k_ + (depth - 1)] = cum;
+  }
+  for (const NodeId u : bfs_queue_) bfs_mark_[u] = 0;
+
+  std::uint8_t chain = 0;
+  if (run_byz_[run_id]) {
+    if (verification_.chain_model == proto::ChainModel::kRewired) {
+      chain = static_cast<std::uint8_t>(
+          std::min<std::uint32_t>(1 + byz_within_k1, 255));
+    } else {
+      // Longest simple Byzantine-only path ending here, capped at k+1 —
+      // iterative DFS over the live adjacency.
+      struct Frame {
+        NodeId v;
+        std::size_t next = 0;
+      };
+      std::vector<Frame> stack{{run_id}};
+      std::vector<std::uint8_t> on_path(nb_, 0);
+      on_path[run_id] = 1;
+      std::uint32_t best = 1;
+      const std::uint32_t cap = k_ + 1;
+      while (!stack.empty() && best < cap) {
+        Frame& f = stack.back();
+        if (f.next >= adj_[f.v].size()) {
+          on_path[f.v] = 0;
+          stack.pop_back();
+          continue;
+        }
+        const NodeId w = adj_[f.v][f.next++];
+        if (alive_[w] == 0 || !run_byz_[w] || on_path[w] != 0) continue;
+        on_path[w] = 1;
+        stack.push_back({w});
+        best = std::max(best, static_cast<std::uint32_t>(stack.size()));
+      }
+      chain = static_cast<std::uint8_t>(std::min<std::uint32_t>(best, 255));
+    }
+  }
+  chains_[run_id] = chain;
+}
+
+void LiveOverlayFeed::rebuild_verifier() {
+  for (NodeId v = 0; v < nb_; ++v) {
+    if (alive_[v] == 0) continue;
+    recompute_row(v);
+    ++stats_.rows_recomputed;
+  }
+  verifier_.emplace(snapshot_->overlay, run_byz_, verification_, rows_,
+                    chains_);
+  ++stats_.verifier_refreshes;
+}
+
+const proto::Verifier* LiveOverlayFeed::begin_phase(
+    std::uint32_t /*phase*/, std::vector<NodeId>& admitted) {
+  if (config_.policy == proto::MembershipPolicy::kReadmitNextPhase) {
+    admitted.insert(admitted.end(), pending_admit_.begin(),
+                    pending_admit_.end());
+    stats_.admitted += pending_admit_.size();
+    pending_admit_.clear();
+    if (rows_dirty_) {
+      rebuild_verifier();
+      rows_dirty_ = false;
+    }
+  }
+  return &*verifier_;
+}
+
+void LiveOverlayFeed::flush_remaining() {
+  while (next_event_ < schedule_.events.size()) {
+    apply_event(schedule_.events[next_event_]);
+    ++next_event_;
+    ++stats_.events_flushed;
+  }
+  // Floor-deferred leaves: every join has been applied by now, so the
+  // trace's end-of-epoch clamp guarantees these go through.
+  const std::size_t deferred = deferred_.size();
+  deferred_.clear();
+  for (std::size_t i = 0; i < deferred; ++i) {
+    if (!apply_leave()) {
+      throw std::logic_error(
+          "LiveOverlayFeed: deferred leave still blocked after flush "
+          "(trace clamp violated)");
+    }
+  }
+}
+
+MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
+                                  std::vector<bool>& stable_byz,
+                                  adv::Strategy& strategy,
+                                  const proto::ProtocolConfig& cfg,
+                                  std::uint64_t color_seed,
+                                  const ChurnSchedule& schedule,
+                                  const MidRunConfig& config,
+                                  adv::ChurnAdversary adversary,
+                                  util::Xoshiro256& rng) {
+  LiveOverlayFeed feed(overlay, stable_byz, schedule, config,
+                       cfg.verification, adversary, rng);
+  proto::RunControls controls;
+  controls.midrun = &feed;
+  MidRunOutcome out;
+  out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
+                                     strategy, cfg, color_seed, controls);
+  feed.flush_remaining();
+  // Reconcile statuses with the FLUSHED membership: events past the run's
+  // termination still count for the epoch, so nodes that left during the
+  // flush are kDeparted (their estimate is moot) and joiners spliced in by
+  // the flush stay kUndecided members — exactly what the between-runs path
+  // would report for a node that never saw this run.
+  for (NodeId v = 0; v < feed.node_bound(); ++v) {
+    if (!feed.departed(v)) continue;
+    if (out.run.status[v] != proto::NodeStatus::kByzantine) {
+      out.run.status[v] = proto::NodeStatus::kDeparted;
+      out.run.estimate[v] = 0;
+    }
+  }
+  out.run_to_stable = feed.run_to_stable();
+  out.run_byz = feed.run_byz();
+  out.stats = feed.stats();
+  return out;
+}
+
+}  // namespace byz::dynamics

@@ -1,0 +1,228 @@
+// Mid-protocol churn: run Algorithm 2 while the overlay mutates under it.
+//
+// PRs 2-3 only ever churn the overlay BETWEEN estimation runs; this module
+// closes the ROADMAP's remaining dynamics item by churning DURING one. A
+// ChurnSchedule places an epoch's join/leave events on individual flood
+// rounds; LiveOverlayFeed replays them against the MutableOverlay exactly
+// when the flood kernel reaches those rounds (proto::MidRunHooks), so
+// departed nodes drop messages from their departure round and joiners are
+// spliced in mid-flight. What the PROTOCOL does about it is the
+// MembershipPolicy (protocols/verification.hpp):
+//
+//   kTreatAsSilent      the in-flight run keeps its run-start view: the
+//                       flood routes over the run-start edges, joiners are
+//                       invisible until the next run, departures are pure
+//                       silence, and the run-start Verifier serves the
+//                       whole run. The overlay itself still mutates — the
+//                       policy is the protocol's reaction, not the
+//                       network's behavior.
+//   kReadmitNextPhase   the flood resolves neighbors against the LIVE
+//                       rings (departure splices create pred-succ edges
+//                       mid-run, joiners relay from entry), and at each
+//                       phase boundary pending joiners are admitted as
+//                       generating participants under a Verifier rebuilt
+//                       against the live topology.
+//
+// Model notes (documented deviations from a fully general treatment):
+//   * Joiners skip the Algorithm-2 setup stage (adjacency exchange + crash
+//     rule) — they were not present for it; the crash rule only ever
+//     applies to run-start members.
+//   * Scheduled SYBIL joiners are Byzantine for bookkeeping and relay like
+//     any Byzantine node once admitted, but plan no injections this run:
+//     the strategy's World spans run-start members only. They attack from
+//     the next epoch's run onward.
+//   * Events scheduled past the run's termination round are flushed after
+//     the run, so an epoch always ends in the same overlay state as the
+//     between-runs path (the trace's n_after invariant holds either way).
+//
+// Correctness anchor (E24): with an empty schedule the feed is a pure
+// pass-through and run_counting_midrun is BITWISE identical — statuses,
+// estimates, round counts, every instrumentation counter — to
+// proto::run_counting on the same snapshot, under both policies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adversary/churn.hpp"
+#include "adversary/strategies.hpp"
+#include "dynamics/churn_trace.hpp"
+#include "dynamics/mutable_overlay.hpp"
+#include "protocols/fastpath.hpp"
+#include "protocols/midrun.hpp"
+
+namespace byz::dynamics {
+
+enum class MidRunEventKind : std::uint8_t { kJoin, kSybilJoin, kLeave };
+
+/// One scheduled membership change, keyed on the 0-based global flood
+/// round it strikes (proto::RoundClock::round). WHICH node departs and
+/// WHERE a joiner splices stay replay-time decisions of the churn
+/// adversary, exactly as in the between-runs path.
+struct MidRunEvent {
+  std::uint64_t round = 0;
+  MidRunEventKind kind = MidRunEventKind::kJoin;
+
+  bool operator==(const MidRunEvent&) const = default;
+};
+
+/// A per-round churn workload for one protocol run, sorted by round
+/// (ties keep joins before sybil joins before leaves, matching the trace
+/// bookkeeping order that clamped the counts).
+struct ChurnSchedule {
+  std::vector<MidRunEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] std::uint32_t joins() const noexcept;
+  [[nodiscard]] std::uint32_t sybil_joins() const noexcept;
+  [[nodiscard]] std::uint32_t leaves() const noexcept;
+};
+
+/// Spreads one trace epoch's {joins, sybil_joins, leaves} over the rounds
+/// [0, horizon_rounds) with a SplitMix64-derived stream of `seed` —
+/// deterministic in (epoch, horizon_rounds, seed) alone, so mid-run trials
+/// are bitwise reproducible for any --jobs. horizon_rounds should be the
+/// run's EXPECTED round count (see expected_horizon_rounds); events the
+/// run never reaches are flushed after it.
+[[nodiscard]] ChurnSchedule derive_schedule(const ChurnEpoch& epoch,
+                                            std::uint64_t horizon_rounds,
+                                            std::uint64_t seed);
+
+/// The flood rounds a run on n nodes of degree d is expected to execute:
+/// cumulative rounds through the typical decision phase
+/// ceil(log2 n / log2(d-1)) + 2. Used as the schedule horizon so events
+/// actually land mid-run instead of piling past termination.
+[[nodiscard]] std::uint64_t expected_horizon_rounds(
+    graph::NodeId n, std::uint32_t d, const proto::ScheduleConfig& schedule);
+
+struct MidRunConfig {
+  proto::MembershipPolicy policy = proto::MembershipPolicy::kReadmitNextPhase;
+};
+
+struct MidRunStats {
+  std::uint64_t events_applied = 0;   ///< during the run, at their round
+  std::uint64_t events_flushed = 0;   ///< after the run (it ended early)
+  std::uint64_t events_deferred = 0;  ///< leaves postponed to flush (floor)
+  std::uint64_t joins = 0;            ///< honest + sybil joins applied total
+  std::uint64_t leaves = 0;
+  std::uint64_t admitted = 0;           ///< joiners admitted at boundaries
+  std::uint64_t verifier_refreshes = 0; ///< live Verifier rebuilds
+  std::uint64_t rows_recomputed = 0;    ///< ball/chain rows recomputed live
+};
+
+/// MutableOverlay-backed implementation of proto::MidRunHooks (see file
+/// comment). Owns the run-id space: snapshot dense ids occupy [0, n0) and
+/// scheduled joiners are pre-assigned [n0, node_bound()) in schedule
+/// order. Grows `stable_byz` as joiners splice in, exactly like the
+/// between-runs replay loop does.
+class LiveOverlayFeed final : public proto::MidRunHooks {
+ public:
+  LiveOverlayFeed(MutableOverlay& overlay, std::vector<bool>& stable_byz,
+                  ChurnSchedule schedule, const MidRunConfig& config,
+                  proto::VerificationConfig verification,
+                  adv::ChurnAdversary adversary, util::Xoshiro256& rng);
+
+  // proto::MidRunHooks
+  [[nodiscard]] graph::NodeId node_bound() const override { return nb_; }
+  [[nodiscard]] bool alive(graph::NodeId v) const override {
+    return alive_[v] != 0;
+  }
+  [[nodiscard]] bool departed(graph::NodeId v) const override {
+    return departed_[v] != 0;
+  }
+  [[nodiscard]] std::span<const graph::NodeId> neighbors(
+      graph::NodeId v) const override {
+    return adj_[v];
+  }
+  void begin_round(const proto::RoundClock& clock) override;
+  [[nodiscard]] const proto::Verifier* begin_phase(
+      std::uint32_t phase, std::vector<graph::NodeId>& admitted) override;
+
+  /// Applies every not-yet-applied event (the run terminated before their
+  /// rounds), joins first among the deferred leaves' floor guard. After
+  /// this the overlay state is independent of how far the run got.
+  void flush_remaining();
+
+  /// The run-start snapshot the protocol executes on (run ids < n0 are
+  /// its dense ids).
+  [[nodiscard]] const graph::Overlay& snapshot_overlay() const noexcept {
+    return snapshot_->overlay;
+  }
+  /// Byzantine mask over the run-id space (snapshot members + scheduled
+  /// joiners), fixed at construction. This is the mask the protocol run
+  /// must be handed.
+  [[nodiscard]] const std::vector<bool>& run_byz() const noexcept {
+    return run_byz_;
+  }
+  /// Stable id of each run id (joiner slots are kInvalidNode until their
+  /// event applies; all resolved after flush_remaining()).
+  [[nodiscard]] const std::vector<graph::NodeId>& run_to_stable()
+      const noexcept {
+    return run_to_stable_;
+  }
+  [[nodiscard]] const MidRunStats& stats() const noexcept { return stats_; }
+
+ private:
+  void apply_event(const MidRunEvent& event);
+  void apply_join(bool byzantine);
+  bool apply_leave();  ///< false = deferred (membership floor)
+  void rebuild_adjacency(graph::NodeId run_id);
+  void recompute_row(graph::NodeId run_id);
+  void rebuild_verifier();
+
+  MutableOverlay* overlay_;
+  std::vector<bool>* stable_byz_;
+  ChurnSchedule schedule_;
+  MidRunConfig config_;
+  proto::VerificationConfig verification_;
+  adv::ChurnAdversary adversary_;
+  util::Xoshiro256* rng_;
+
+  MidRunStats stats_;
+  graph::NodeId n0_ = 0;  ///< snapshot size (run ids < n0_ are members)
+  graph::NodeId nb_ = 0;  ///< n0_ + scheduled joins
+  std::size_t next_event_ = 0;
+  std::vector<MidRunEvent> deferred_;  ///< floor-guarded leaves
+  graph::NodeId next_join_run_id_ = 0;
+
+  std::optional<MutableOverlay::Snapshot> snapshot_;
+  std::vector<graph::NodeId> run_to_stable_;
+  std::vector<graph::NodeId> stable_to_run_;  ///< by stable id; kInvalidNode
+  std::vector<bool> run_byz_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> departed_;
+  std::vector<std::vector<graph::NodeId>> adj_;  ///< run-id simple H view
+
+  std::uint32_t k_ = 0;
+  bool rows_dirty_ = false;
+  std::vector<graph::NodeId> pending_admit_;
+  std::vector<std::uint32_t> rows_;      ///< nb_ * k_ cumulative ball counts
+  std::vector<std::uint8_t> chains_;     ///< nb_ usable-chain lengths
+  std::optional<proto::Verifier> verifier_;
+  // BFS scratch for live ball rows.
+  std::vector<std::uint8_t> bfs_mark_;
+  std::vector<graph::NodeId> bfs_queue_;
+};
+
+struct MidRunOutcome {
+  proto::RunResult run;  ///< in run-id space (node_bound ids)
+  std::vector<graph::NodeId> run_to_stable;
+  std::vector<bool> run_byz;
+  MidRunStats stats;
+};
+
+/// Snapshots `overlay`, runs the counting protocol with `schedule` applied
+/// mid-run under `config.policy`, then flushes the schedule's tail so the
+/// overlay ends in the same state as the between-runs path. `stable_byz`
+/// grows with every join (sybil joiners marked Byzantine), `rng` advances
+/// exactly one draw per adversary decision — both identical to the
+/// between-runs replay, so a driver can alternate modes per epoch.
+[[nodiscard]] MidRunOutcome run_counting_midrun(
+    MutableOverlay& overlay, std::vector<bool>& stable_byz,
+    adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
+    std::uint64_t color_seed, const ChurnSchedule& schedule,
+    const MidRunConfig& config, adv::ChurnAdversary adversary,
+    util::Xoshiro256& rng);
+
+}  // namespace byz::dynamics

@@ -15,6 +15,8 @@ enum class NodeStatus : std::uint8_t {
   kUndecided,  ///< honest, still active when the phase cap was reached
   kCrashed,    ///< honest, shut down by the Algorithm-2 line-2 crash rule
   kByzantine,
+  kDeparted,   ///< left the overlay during a mid-run-churn run; no longer a
+               ///< member, so accuracy summaries skip it like a Byzantine id
 };
 
 struct RunResult {

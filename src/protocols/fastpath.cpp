@@ -39,26 +39,58 @@ RunResult run_counting_with(const graph::Overlay& overlay,
                             std::uint64_t color_seed,
                             const RunControls& controls) {
   const NodeId n = overlay.num_nodes();
-  if (byz_mask.size() != n) {
+  if (controls.start_phase == 0) {
+    throw std::invalid_argument(
+        "run_counting: start_phase is 1-based (1 = no skip)");
+  }
+  MidRunHooks* const midrun = controls.midrun;
+  if (midrun != nullptr &&
+      (controls.lazy_subphases || controls.verifier != nullptr ||
+       controls.start_phase > 1)) {
+    throw std::invalid_argument(
+        "run_counting: midrun hooks are incompatible with lazy_subphases, "
+        "an external verifier, and start_phase > 1");
+  }
+  // The run's id space: the snapshot's nodes plus, under mid-run churn,
+  // every joiner the round schedule will ever admit (inert until then).
+  const NodeId nb = midrun ? midrun->node_bound() : n;
+  if (nb < n || byz_mask.size() != nb) {
     throw std::invalid_argument("run_counting: mask size mismatch");
   }
   const std::uint32_t d = overlay.params().d;
 
   RunResult result;
-  result.status.assign(n, NodeStatus::kUndecided);
-  result.estimate.assign(n, 0);
+  result.status.assign(nb, NodeStatus::kUndecided);
+  result.estimate.assign(nb, 0);
 
   const sim::World world = sim::World::make(overlay, byz_mask, color_seed);
   for (const NodeId b : world.byz_nodes) {
     result.status[b] = NodeStatus::kByzantine;
   }
+  // Scheduled sybil joiners (ids past the snapshot) are Byzantine from the
+  // start for bookkeeping; the World above only spans the snapshot, so the
+  // strategy never plans injections from them this run.
+  for (NodeId v = n; v < nb; ++v) {
+    if (byz_mask[v]) result.status[v] = NodeStatus::kByzantine;
+  }
 
   // Setup: adjacency exchange, lies, crash rule (Algorithm 2 lines 1-2).
+  // Mid-run joiners skip setup: they were not present for the adjacency
+  // exchange, so the crash rule never applies to them.
   proto::ClaimSet claims(overlay);
   strategy.setup_lies(world, claims);
-  std::vector<bool> crashed(n, false);
+  std::vector<bool> crashed(nb, false);
   if (cfg.crash_rule) {
-    crashed = compute_crash_set(claims, byz_mask, &result.instr);
+    if (midrun == nullptr) {
+      crashed = compute_crash_set(claims, byz_mask, &result.instr);
+    } else {
+      // The crash rule runs on the snapshot's members only; joiner ids are
+      // truncated off the mask (they exchanged no adjacency claims).
+      const std::vector<bool> snapshot_byz(byz_mask.begin(),
+                                           byz_mask.begin() + n);
+      crashed = compute_crash_set(claims, snapshot_byz, &result.instr);
+    }
+    crashed.resize(nb, false);
     for (NodeId v = 0; v < n; ++v) {
       if (crashed[v] && !byz_mask[v]) result.status[v] = NodeStatus::kCrashed;
     }
@@ -66,15 +98,18 @@ RunResult run_counting_with(const graph::Overlay& overlay,
 
   const Verifier* verifier = controls.verifier;
   std::optional<Verifier> owned_verifier;
-  if (verifier == nullptr) {
+  if (verifier == nullptr && midrun == nullptr) {
     owned_verifier.emplace(overlay, byz_mask, cfg.verification);
     verifier = &*owned_verifier;
   }
   const std::uint32_t max_phase = resolve_max_phase(overlay, cfg);
   const bool byz_gen = strategy.generates_honestly();
 
-  // active = honest, uncrashed, undecided (still generates tokens).
-  std::vector<bool> active(n, false);
+  // active = honest, uncrashed, undecided (still generates tokens). Under
+  // mid-run churn, joiners enter this set only when a phase boundary
+  // admits them (kReadmitNextPhase); `participates` gates generation for
+  // both honest and Byzantine joiners until then.
+  std::vector<bool> active(nb, false);
   std::uint64_t active_count = 0;
   for (NodeId v = 0; v < n; ++v) {
     if (!byz_mask[v] && !crashed[v]) {
@@ -82,21 +117,45 @@ RunResult run_counting_with(const graph::Overlay& overlay,
       ++active_count;
     }
   }
+  std::vector<std::uint8_t> participates;
+  std::vector<NodeId> admitted;
+  if (midrun != nullptr) {
+    participates.assign(nb, 0);
+    std::fill(participates.begin(), participates.begin() + n, 1);
+  }
 
   FloodWorkspace ws;
-  std::vector<Color> gen(n, 0);
+  std::vector<Color> gen(nb, 0);
   std::vector<Injection> injections;
-  std::vector<bool> fired(n, false);
+  std::vector<bool> fired(nb, false);
   // Lazy-tier scratch: the not-yet-fired stragglers of the current phase
   // and the region mask of their radius-`phase` balls.
   std::vector<NodeId> unfired_list;
   std::vector<std::uint8_t> region;
   std::vector<NodeId> region_frontier;
   std::vector<NodeId> region_next;
+  // Global flood-round counter driving the mid-run churn schedule.
+  std::uint64_t global_round = 0;
 
-  std::uint32_t phase = 0;
+  std::uint32_t phase = controls.start_phase - 1;
   while (phase < max_phase && active_count > 0) {
     ++phase;
+    if (midrun != nullptr) {
+      // Phase boundary: the membership policy admits pending joiners (they
+      // start generating this phase) and hands back the Verifier the
+      // phase's floods must use (refreshed under kReadmitNextPhase).
+      admitted.clear();
+      verifier = midrun->begin_phase(phase, admitted);
+      for (const NodeId a : admitted) {
+        if (a >= nb || participates[a] != 0) continue;
+        participates[a] = 1;
+        if (!byz_mask[a] && !crashed[a] &&
+            result.status[a] == NodeStatus::kUndecided) {
+          active[a] = true;
+          ++active_count;
+        }
+      }
+    }
     const std::uint32_t subphases = subphases_in_phase(phase, d, cfg.schedule);
     std::fill(fired.begin(), fired.end(), false);
     const double threshold = continue_threshold(phase, d);
@@ -108,9 +167,10 @@ RunResult run_counting_with(const graph::Overlay& overlay,
           global_subphase_index(phase, j, d, cfg.schedule);
       // Colors: active honest nodes generate; decided/crashed do not;
       // Byzantine nodes generate their honest draw only if the strategy
-      // mimics the protocol.
-      for (NodeId v = 0; v < n; ++v) {
-        if (active[v] || (byz_mask[v] && byz_gen)) {
+      // mimics the protocol. Mid-run joiners generate only once admitted.
+      for (NodeId v = 0; v < nb; ++v) {
+        if ((active[v] || (byz_mask[v] && byz_gen)) &&
+            (midrun == nullptr || participates[v] != 0)) {
           gen[v] = color_at(color_seed, v, s);
         } else {
           gen[v] = 0;
@@ -164,8 +224,13 @@ RunResult run_counting_with(const graph::Overlay& overlay,
       params.steps = phase;
       params.byz_forward = strategy.forwards_floods();
       if (focused) params.region = region;
+      if (midrun != nullptr) {
+        params.live = midrun;
+        params.clock = {phase, j, 1, global_round};
+      }
       run_flood_subphase(overlay, byz_mask, crashed, *verifier, params, gen,
                          injections, ws, result.instr);
+      global_round += phase;
       ++result.subphases_executed;
 
       // Line 18: the phase "continues" for v if the final-step max strictly
@@ -173,7 +238,7 @@ RunResult run_counting_with(const graph::Overlay& overlay,
       // (Already-fired nodes are skipped, so focused subphases only read
       // the straggler values the region guarantees exact.)
       unfired_list.clear();
-      for (NodeId v = 0; v < n; ++v) {
+      for (NodeId v = 0; v < nb; ++v) {
         if (!active[v] || fired[v]) continue;
         const Color ki = ws.last_step[v];
         if (ki > ws.best_before[v] &&
@@ -190,9 +255,28 @@ RunResult run_counting_with(const graph::Overlay& overlay,
       if (controls.lazy_subphases && unfired_list.empty()) break;
     }
 
+    // Mid-run churn: nodes that left the overlay during this phase are no
+    // longer members — they take no estimate and leave the active set
+    // before the decide sweep reads the fired flags.
+    if (midrun != nullptr) {
+      for (NodeId v = 0; v < nb; ++v) {
+        if (result.status[v] == NodeStatus::kDeparted || !midrun->departed(v)) {
+          continue;
+        }
+        if (active[v]) {
+          active[v] = false;
+          --active_count;
+        }
+        if (result.status[v] != NodeStatus::kByzantine) {
+          result.status[v] = NodeStatus::kDeparted;
+          result.estimate[v] = 0;
+        }
+      }
+    }
+
     // Nodes with FlagTerminate still set accept i as the estimate of log n.
     std::uint64_t decided_now = 0;
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = 0; v < nb; ++v) {
       if (active[v] && !fired[v]) {
         active[v] = false;
         --active_count;
@@ -227,6 +311,7 @@ Accuracy summarize_accuracy(const RunResult& result, std::uint64_t true_n,
   for (std::size_t v = 0; v < result.status.size(); ++v) {
     switch (result.status[v]) {
       case NodeStatus::kByzantine: continue;
+      case NodeStatus::kDeparted: continue;
       case NodeStatus::kCrashed:
         ++acc.honest;
         ++acc.crashed;

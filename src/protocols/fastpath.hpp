@@ -11,6 +11,7 @@
 #include "adversary/strategies.hpp"
 #include "graph/small_world.hpp"
 #include "protocols/estimate.hpp"
+#include "protocols/midrun.hpp"
 #include "protocols/schedule.hpp"
 #include "protocols/verification.hpp"
 
@@ -45,9 +46,12 @@ struct ProtocolConfig {
                                      const ProtocolConfig& cfg,
                                      std::uint64_t color_seed);
 
-/// Warm-tier extension points for run_counting. Both are DECISION-EXACT:
-/// the per-node status/estimate vectors are bitwise identical to the plain
-/// run for every input (only message/round accounting changes).
+/// Extension points for run_counting. The warm-tier pair (lazy_subphases,
+/// verifier) is DECISION-EXACT: the per-node status/estimate vectors are
+/// bitwise identical to the plain run for every input (only message/round
+/// accounting changes). start_phase and midrun deliberately are NOT — they
+/// are the ε-warm and mid-run-churn tiers, whose divergence is bounded and
+/// accounted elsewhere (warm_start.hpp, dynamics/midrun.hpp).
 struct RunControls {
   /// Lazy subphase evaluation: stop each phase at the first subphase after
   /// which every active node has fired. The fired flags are monotone
@@ -63,6 +67,20 @@ struct RunControls {
   /// Verifier(overlay, byz_mask, cfg.verification). The warm tier
   /// assembles it from cached rows, recomputing only dirty-ball nodes.
   const Verifier* verifier = nullptr;
+  /// ε-warm phase skip: start the phase loop at this phase instead of 1,
+  /// executing zero subphases for the skipped prefix. Any node that would
+  /// have decided below start_phase decides at start_phase or later — a
+  /// DIVERGENT decision the ε-warm tier accounts against the paper's ε·n
+  /// outlier budget (WarmConfig::eps_*; E25 asserts the budget holds).
+  /// 1 = no skip (the exact tiers).
+  std::uint32_t start_phase = 1;
+  /// Mid-protocol churn hooks (protocols/midrun.hpp): the run sizes its
+  /// id space by node_bound(), the flood kernel resolves neighbors live,
+  /// and phase boundaries apply the MembershipPolicy (joiner admission +
+  /// verifier refresh). byz_mask must then cover node_bound() ids.
+  /// Incompatible with lazy_subphases, verifier, and start_phase > 1;
+  /// run_counting_with throws on those combinations. Null = static run.
+  MidRunHooks* midrun = nullptr;
 };
 
 /// run_counting with explicit controls; run_counting == default controls.

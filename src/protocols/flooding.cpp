@@ -25,20 +25,31 @@ void run_flood_subphase(const graph::Overlay& overlay,
                         std::span<const Color> gen_color,
                         std::span<const Injection> injections,
                         FloodWorkspace& ws, sim::Instrumentation& instr) {
-  const NodeId n = overlay.num_nodes();
+  const MidRunHooks* live = params.live;
+  const NodeId n = live ? live->node_bound() : overlay.num_nodes();
   if (gen_color.size() != n || byz_mask.size() != n || crashed.size() != n) {
     throw std::invalid_argument("run_flood_subphase: size mismatch");
   }
   if (!params.region.empty() && params.region.size() != n) {
     throw std::invalid_argument("run_flood_subphase: region size mismatch");
   }
+  if (live != nullptr && !params.region.empty()) {
+    throw std::invalid_argument(
+        "run_flood_subphase: live topology is incompatible with focused "
+        "(region) floods");
+  }
   ws.ensure(n);
   const auto& h = overlay.h_simple();
   const auto in_region = [&](NodeId v) {
     return params.region.empty() || params.region[v] != 0;
   };
+  const auto present = [&](NodeId v) {
+    return live == nullptr || live->alive(v);
+  };
 
   // Step 1 senders: every generating node broadcasts its own color.
+  // (Mid-run joiners have gen_color 0 until a phase boundary admits them,
+  // so they can never enter the frontier before being alive.)
   for (NodeId v = 0; v < n; ++v) {
     if (!in_region(v)) continue;
     ws.known[v] = gen_color[v];
@@ -47,10 +58,19 @@ void run_flood_subphase(const graph::Overlay& overlay,
 
   // Injections grouped by step (inputs are few; linear scan per step).
   for (std::uint32_t t = 1; t <= params.steps; ++t) {
+    // Mid-run churn: apply the events scheduled for this round BEFORE its
+    // sends, so a node departing at round r never sends at r and a joiner
+    // entering at r can receive at r.
+    if (live != nullptr) {
+      RoundClock clock = params.clock;
+      clock.step = t;
+      clock.round = params.clock.round + (t - 1);
+      params.live->begin_round(clock);
+    }
     ws.touched.clear();
     auto deliver = [&](NodeId receiver, NodeId sender, Color c, bool verify) {
       if (!in_region(receiver)) return;
-      if (crashed[receiver]) return;
+      if (crashed[receiver] || !present(receiver)) return;
       if (byz_mask[receiver]) {
         // Byzantine receivers absorb knowledge without verification; their
         // counterfactual-honest state is tracked for legit-fresh checks.
@@ -78,10 +98,13 @@ void run_flood_subphase(const graph::Overlay& overlay,
       }
     };
 
-    // Protocol-conformant sends from the frontier.
+    // Protocol-conformant sends from the frontier. A frontier member that
+    // departed since it was enqueued is silently dropped — its messages
+    // die with it.
     for (const NodeId u : ws.frontier) {
       if (byz_mask[u] && !params.byz_forward) continue;
-      const auto nbrs = h.neighbors(u);
+      if (!present(u)) continue;
+      const auto nbrs = live ? live->neighbors(u) : h.neighbors(u);
       instr.count_token(nbrs.size());
       instr.max_node_round_sends =
           std::max<std::uint64_t>(instr.max_node_round_sends, nbrs.size());
@@ -91,8 +114,9 @@ void run_flood_subphase(const graph::Overlay& overlay,
     // Byzantine injections scheduled for this step.
     for (const auto& inj : injections) {
       if (inj.step != t || crashed[inj.from]) continue;
-      if (!in_region(inj.from)) continue;
-      const auto nbrs = h.neighbors(inj.from);
+      if (!in_region(inj.from) || !present(inj.from)) continue;
+      const auto nbrs =
+          live ? live->neighbors(inj.from) : h.neighbors(inj.from);
       instr.count_token(nbrs.size());
       instr.max_node_round_sends =
           std::max<std::uint64_t>(instr.max_node_round_sends, nbrs.size());

@@ -5,9 +5,27 @@
 // Byzantine senders are driven by injections; honest receivers filter every
 // received color through the Verifier.
 //
+// Round/phase lifecycle: a RUN is a sequence of phases i = 1, 2, ...; phase
+// i runs subphases_in_phase(i) independent subphases; one subphase is one
+// call into this kernel and floods for exactly i steps (= i protocol
+// ROUNDS, the unit the paper's O(log³ n) bound counts). Within a subphase,
+// step 1 broadcasts generated colors and steps 2..i relay improvements.
+// Subphases share no state except the caller's fired flags; phases share
+// no state except which nodes are still active.
+//
 // Per-node bookkeeping matches the pseudocode: k_t is the maximum ACCEPTED
 // color received in step t; the subphase "fires" for v iff
 //   k_i > k_t for all t < i   and   k_i > continue_threshold(i, d).
+//
+// Mid-protocol churn (FloodParams::live): when live hooks are attached the
+// kernel resolves every neighbor set against the LIVE topology instead of
+// `overlay`, and calls live->begin_round() before each step's sends so the
+// owner can splice scheduled joins/leaves in first. Departed nodes drop
+// messages from their departure round (sends and receives); joiners
+// receive and relay from their entry round ("flood from entry") but never
+// generate mid-subphase — generation is granted at phase boundaries by the
+// MembershipPolicy (see verification.hpp / fastpath.hpp). With live ==
+// nullptr the kernel is the static path, unchanged.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +34,7 @@
 
 #include "graph/small_world.hpp"
 #include "protocols/color.hpp"
+#include "protocols/midrun.hpp"
 #include "protocols/verification.hpp"
 #include "sim/instrumentation.hpp"
 
@@ -56,6 +75,14 @@ struct FloodParams {
   /// radius-`steps` ball the region covers; the caller must only read
   /// those. Empty = the ordinary whole-network flood.
   std::span<const std::uint8_t> region;
+  /// Mid-protocol churn hooks (see file comment). Null = static path.
+  /// Incompatible with `region` (the lazy tier is a static-topology
+  /// optimization); run_flood_subphase throws if both are set.
+  MidRunHooks* live = nullptr;
+  /// Clock of this subphase's FIRST step; the kernel advances step/round
+  /// per flood step and hands the result to live->begin_round(). Ignored
+  /// when live is null.
+  RoundClock clock;
 };
 
 /// Runs one subphase. `gen_color[v]` is v's generated color (0 = does not

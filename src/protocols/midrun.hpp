@@ -1,0 +1,90 @@
+// Mid-protocol churn: the protocol-side interface for overlays that mutate
+// WHILE a counting run is in flight (ROADMAP "mid-protocol churn"; the
+// dynamics layer implements it over MutableOverlay in dynamics/midrun.*).
+//
+// The static tiers (cold, warm, ε-warm) all freeze one Overlay snapshot for
+// the whole run. MidRunHooks instead lets run_counting_with resolve the
+// topology PER ROUND:
+//
+//   * node_bound() fixes the id space up front — every node that is alive
+//     at run start plus every joiner the round schedule will ever splice in.
+//     Ids of not-yet-joined nodes are inert (absent) until their round.
+//   * begin_round() is invoked by the flood kernel before the sends of each
+//     flood step; the implementation applies the join/leave events scheduled
+//     for that round, after which alive()/neighbors() answer for the NEW
+//     topology. Departed nodes drop messages from their departure round on;
+//     joiners receive and relay from their entry round on ("flood from
+//     entry").
+//   * begin_phase() is invoked by the run loop at each phase boundary. The
+//     implementation applies its MembershipPolicy (verification.hpp): under
+//     kReadmitNextPhase it reports the joiners to admit as generating
+//     participants and returns a Verifier refreshed against the live
+//     topology; under kTreatAsSilent it admits nobody and keeps the
+//     run-start Verifier.
+//
+// Contract (E24, tests/sim/midrun_equivalence_test.cpp): with an EMPTY
+// round schedule the hooks are pure pass-throughs and run_counting_with
+// must produce a RunResult bitwise identical — status, estimates, phase and
+// round counts, every instrumentation counter — to the plain static run on
+// the same snapshot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "protocols/verification.hpp"
+
+namespace byz::proto {
+
+/// Position of one flood step in the run: phase i (1-based), subphase j
+/// within it (1-based), step t within the subphase (1-based, t <= i), and
+/// the 0-based global round counter the churn schedule is keyed on.
+struct RoundClock {
+  std::uint32_t phase = 1;
+  std::uint32_t subphase = 1;
+  std::uint32_t step = 1;
+  std::uint64_t round = 0;
+};
+
+/// Live-topology callbacks for a mutating overlay (see file comment).
+/// Implemented by dynamics::LiveOverlayFeed; the protocol layer only ever
+/// talks to this interface, so protocols/ stays independent of dynamics/.
+class MidRunHooks {
+ public:
+  virtual ~MidRunHooks() = default;
+
+  /// Upper bound of the run's id space: nodes alive at run start occupy
+  /// [0, n); scheduled joiners are pre-assigned ids [n, node_bound()).
+  /// Fixed for the whole run.
+  [[nodiscard]] virtual graph::NodeId node_bound() const = 0;
+
+  /// Is v present in the overlay as of the last begin_round()? Joiners are
+  /// dead until their entry round; departed nodes are dead forever after.
+  [[nodiscard]] virtual bool alive(graph::NodeId v) const = 0;
+
+  /// True iff v WAS present and has left (distinguishes a departure from a
+  /// joiner whose entry round has not arrived — both are !alive()).
+  [[nodiscard]] virtual bool departed(graph::NodeId v) const = 0;
+
+  /// v's current H-neighbors (simple view, dedup'd). Only meaningful while
+  /// alive(v); resolved against the live rings, so splices applied by
+  /// begin_round are visible immediately.
+  [[nodiscard]] virtual std::span<const graph::NodeId> neighbors(
+      graph::NodeId v) const = 0;
+
+  /// Applies every churn event scheduled for clock.round. Called by the
+  /// flood kernel before that round's sends; monotone in clock.round.
+  virtual void begin_round(const RoundClock& clock) = 0;
+
+  /// Phase boundary: applies the membership policy. Fills `admitted` with
+  /// the joiner ids that become full (generating) participants this phase
+  /// and returns the Verifier the phase's floods must use — refreshed
+  /// against the live topology under kReadmitNextPhase, the frozen
+  /// run-start Verifier under kTreatAsSilent. Never null.
+  [[nodiscard]] virtual const Verifier* begin_phase(
+      std::uint32_t phase, std::vector<graph::NodeId>& admitted) = 0;
+};
+
+}  // namespace byz::proto

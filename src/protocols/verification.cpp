@@ -26,6 +26,14 @@ void path_dfs(const graph::Graph& h, const std::vector<bool>& byz,
 
 }  // namespace
 
+const char* to_string(MembershipPolicy policy) {
+  switch (policy) {
+    case MembershipPolicy::kTreatAsSilent: return "treat-as-silent";
+    case MembershipPolicy::kReadmitNextPhase: return "readmit-next-phase";
+  }
+  return "?";
+}
+
 std::uint32_t byz_path_ending_at(const graph::Graph& h_simple,
                                  const std::vector<bool>& byz_mask,
                                  NodeId endpoint, std::uint32_t cap) {
@@ -105,9 +113,14 @@ Verifier::Verifier(const graph::Overlay& overlay,
       ball_counts_(std::move(ball_counts)),
       chain_len_(std::move(chain_len)) {
   const NodeId n = overlay.num_nodes();
-  if (byz_mask.size() != n ||
-      ball_counts_.size() != static_cast<std::size_t>(n) * k_ ||
-      chain_len_.size() != n) {
+  // `>=`, not `==`: the mid-run churn tier verifies over the run's id
+  // space (snapshot members plus scheduled joiners), which is a superset
+  // of the snapshot the overlay describes. Rows past n belong to joiners.
+  // The mask and both tables must still agree on that id space, so every
+  // id the mask admits has a row to read.
+  if (byz_mask.size() < n ||
+      ball_counts_.size() != byz_mask.size() * static_cast<std::size_t>(k_) ||
+      chain_len_.size() * k_ != ball_counts_.size()) {
     throw std::invalid_argument("Verifier: precomputed state size mismatch");
   }
 }

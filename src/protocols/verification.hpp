@@ -24,6 +24,36 @@
 // adversary-friendlier and only requires min(t,k) Byzantine nodes inside
 // the checked ball (covering fake Byzantine-Byzantine H-edge claims that
 // survive the crash rule). Both vanish w.h.p. under random placement.
+//
+// MID-RUN MEMBERSHIP (protocols/midrun.hpp, dynamics/midrun.*): the
+// Verifier's state — cumulative ball counts and usable chains — is computed
+// from a topology snapshot, so nodes joining or leaving DURING a run make
+// it stale. MembershipPolicy names the two supported answers. Departures
+// are handled identically under both (the departed node drops messages from
+// its departure round; witnesses it would have contributed are simply
+// absent, which can only shrink what the Verifier accepts). The policies
+// differ on JOINERS and on when the state is refreshed:
+//
+//   kTreatAsSilent     mid-run joiners never become generating
+//                      participants this run: they relay nothing, generate
+//                      nothing, and finish kUndecided (they estimate from
+//                      the next run, or via smoothing). The Verifier keeps
+//                      its run-start state for the whole run. Conservative:
+//                      the run only ever LOSES color mass relative to the
+//                      churn-free run, so on an empty schedule it is
+//                      bitwise identical to the static path (E24) and
+//                      under churn it cannot admit tokens the static
+//                      Verifier would have rejected.
+//   kReadmitNextPhase  a joiner is re-admitted at the first phase boundary
+//                      after its entry round: from that phase on it
+//                      generates colors, relays, and can decide. At each
+//                      boundary with pending admissions the Verifier is
+//                      rebuilt against the live topology (fresh ball rows
+//                      and chain lengths for every node), so admitted
+//                      joiners are verifiable senders. Within a phase the
+//                      state stays frozen — mid-PHASE membership change is
+//                      exactly the staleness the policy tolerates, bounded
+//                      by one phase.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +68,15 @@ namespace byz::proto {
 
 enum class ChainModel : std::uint8_t { kStrict, kRewired };
 
+/// How a run treats nodes whose membership changes mid-phase (see the file
+/// comment for the full semantics; dynamics/midrun.* implements both).
+enum class MembershipPolicy : std::uint8_t {
+  kTreatAsSilent,      ///< joiners stay silent all run; verifier frozen
+  kReadmitNextPhase,   ///< joiners admitted + verifier rebuilt at boundaries
+};
+
+[[nodiscard]] const char* to_string(MembershipPolicy policy);
+
 struct VerificationConfig {
   bool enabled = true;  ///< ablation switch (off = Algorithm 1 behavior)
   ChainModel chain_model = ChainModel::kStrict;
@@ -48,11 +87,14 @@ class Verifier {
   Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
            VerificationConfig config);
 
-  /// Trusted-state constructor for the warm-start tier: adopts a
-  /// ready-made cumulative ball-count table (n*k values, laid out exactly
-  /// as the primary constructor computes them) and per-node chain lengths.
-  /// The caller reuses cached rows for clean nodes and recomputes dirty
-  /// rows with verifier_ball_row / verifier_chain_len.
+  /// Trusted-state constructor for the warm-start and mid-run tiers:
+  /// adopts a ready-made cumulative ball-count table (>= n*k values, laid
+  /// out exactly as the primary constructor computes them) and per-node
+  /// chain lengths. The warm tier reuses cached rows for clean nodes and
+  /// recomputes dirty rows with verifier_ball_row / verifier_chain_len;
+  /// the mid-run tier passes tables over the run's id space (a superset
+  /// of the overlay's nodes — joiner rows live past n) recomputed against
+  /// the live topology at phase boundaries.
   Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
            VerificationConfig config,
            std::vector<std::uint32_t> ball_counts,

@@ -79,6 +79,60 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   RunControls controls;
   controls.lazy_subphases = !cold;
   controls.verifier = &verifier;
+  // ε-warm phase skip. The entry phase is the QUANTILE of the seeded
+  // estimate distribution, not its minimum: a handful of poorly-connected
+  // nodes decide at phase 1-2 every epoch (see the file comment), so
+  // "skip to seed_min" would never skip anything. Instead the tier
+  // pre-spends at most HALF the ε·n budget: entry is the deepest phase
+  // such that the predicted at-risk population — nodes seeded BELOW the
+  // entry, plus nodes with no seed at all (joiners, previously undecided)
+  // — fits in budget/2, minus eps_margin phases of safety for the
+  // epoch-to-epoch wobble of fresh colors. The other half of the budget
+  // absorbs the realized wobble and the upward cascade from skipped
+  // deciders still generating at the entry phase.
+  if (warm_cfg.eps_phase_skip) {
+    std::uint64_t honest = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!byz_mask[v]) ++honest;
+    }
+    out.eps_budget_nodes = static_cast<std::uint64_t>(
+        warm_cfg.eps_budget * static_cast<double>(honest));
+  }
+  if (!cold && warm_cfg.eps_phase_skip) {
+    const std::uint32_t max_phase = resolve_max_phase(overlay, cfg);
+    std::vector<std::uint64_t> seeded_at(max_phase + 2, 0);
+    std::uint64_t at_risk = 0;  // honest nodes with no usable seed
+    for (NodeId v = 0; v < n; ++v) {
+      if (byz_mask[v]) continue;
+      const NodeId s = dense_to_stable[v];
+      const std::uint32_t est =
+          s < state.estimate.size() ? state.estimate[s] : 0;
+      if (est == 0) {
+        ++at_risk;
+      } else {
+        ++seeded_at[std::min(est, max_phase + 1)];
+      }
+    }
+    const std::uint64_t allowed = out.eps_budget_nodes / 2;
+    std::uint32_t entry = 1;
+    std::uint64_t below = at_risk;
+    for (std::uint32_t p = 2; p <= max_phase; ++p) {
+      below += seeded_at[p - 1];
+      if (below > allowed) break;
+      entry = p;
+    }
+    entry = entry > warm_cfg.eps_margin ? entry - warm_cfg.eps_margin : 1;
+    if (entry > 1) {
+      out.eps_used = true;
+      out.eps_entry_phase = entry;
+      controls.start_phase = entry;
+      const std::uint32_t d_sched = overlay.params().d;
+      for (std::uint32_t i = 1; i < entry; ++i) {
+        out.eps_skipped_subphases +=
+            subphases_in_phase(i, d_sched, cfg.schedule);
+      }
+    }
+  }
   out.run = run_counting_with(overlay, byz_mask, strategy, cfg, color_seed,
                               controls);
 

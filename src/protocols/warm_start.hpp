@@ -23,13 +23,38 @@
 //     estimate actually moved.
 //
 // Whole-PHASE skipping — seeding the loop above phase 1 because last
-// epoch's minimum estimate was higher — is deliberately NOT done: colors
-// are drawn fresh every epoch, so a node with m live H-neighbors fails
-// phase i's threshold in every subphase with probability ~(1/2)^(m*alpha),
-// and under crash-heavy adversaries such low-m nodes decide at phase 1-2
-// with constant probability. "No one decides below last epoch's minimum"
-// is a positive-probability bet, not an invariant, and the repo's
-// equivalence contract does not take bets.
+// epoch's minimum estimate was higher — is deliberately NOT part of the
+// (exact) warm tier: colors are drawn fresh every epoch, so a node with m
+// live H-neighbors fails phase i's threshold in every subphase with
+// probability ~(1/2)^(m*alpha), and under crash-heavy adversaries such
+// low-m nodes decide at phase 1-2 with constant probability. "No one
+// decides below last epoch's minimum" is a positive-probability bet, not
+// an invariant, and the exact tier's equivalence contract does not take
+// bets.
+//
+// The ε-WARM tier (WarmConfig::eps_phase_skip) takes exactly that bet,
+// priced against the paper's own error model. Theorem 1 only promises the
+// estimate band for all but ε·n honest nodes — an outlier budget the exact
+// runs never spend. ε-warm spends it: the entry phase is chosen from the
+// QUANTILE of the seeded estimate distribution — the deepest phase whose
+// predicted at-risk population (nodes seeded below it, plus nodes with no
+// seed) pre-spends at most half of floor(eps_budget·honest), minus
+// eps_margin phases of safety — and the phases below it (where a cold run
+// burns most of its subphases) are dropped entirely.
+// The accounting invariant, asserted by the epoch driver's verify mode and
+// the warm-start tests:
+//
+//     realized divergent decisions (vs the cold run on the same snapshot)
+//         <= floor(eps_budget * honest members)          -- per epoch
+//
+// "Divergent" compares status AND estimate per node. The run itself
+// reports the a-priori side (entry phase, skipped subphases, budget in
+// nodes); the realized count needs the cold shadow, so it lives in
+// dynamics::EpochStats (eps_divergent). Divergence is one-sided in the
+// phase order — a node clamped at entry can only report >= its cold
+// estimate, and extra still-active generators can only push later phases'
+// maxima UP — so the failure mode is over-estimation of log n, the
+// direction the refinement stage already tolerates.
 //
 // The previous-epoch estimates still seed the run: they are carried per
 // stable id, define the expected decision window (reported for
@@ -51,6 +76,21 @@ struct WarmConfig {
   /// Fall back to a cold run (no state reuse, eager subphases) when the
   /// membership drift since the seeding run exceeds this fraction.
   double max_drift = 0.05;
+  /// ε-warm tier: skip the early phases of warm runs, entering at the
+  /// budget-bounded quantile of the seeded estimate distribution (see
+  /// file comment). Only engages on a warm run; cold fallbacks and
+  /// first-ever runs are never skipped.
+  bool eps_phase_skip = false;
+  /// The ε of the accounting invariant: divergent decisions per run must
+  /// stay within floor(eps_budget * honest members). The entry-phase rule
+  /// pre-spends at most half of it; callers verifying the invariant
+  /// (epoch driver, E25) shadow-run cold and throw past the full budget.
+  double eps_budget = 0.10;
+  /// Safety margin subtracted from the quantile entry phase; one phase
+  /// absorbs the typical epoch-to-epoch wobble of fresh colors (the
+  /// decided-phase distribution is broad — see E05/E25 — so every extra
+  /// margin phase sharply shrinks the skippable prefix).
+  std::uint32_t eps_margin = 1;
 };
 
 /// Per-node protocol state carried across epochs, indexed by STABLE id so
@@ -76,6 +116,11 @@ struct WarmRun {
   std::uint64_t rows_recomputed = 0;
   std::uint64_t refine_reused = 0;
   std::uint64_t refine_recomputed = 0;
+  // --- ε-warm tier (meaningful when WarmConfig::eps_phase_skip) ---
+  bool eps_used = false;            ///< the run actually entered above 1
+  std::uint32_t eps_entry_phase = 1;
+  std::uint64_t eps_budget_nodes = 0;       ///< floor(eps_budget * honest)
+  std::uint64_t eps_skipped_subphases = 0;  ///< schedule cost of the skip
 };
 
 /// Runs the counting protocol on `overlay`, warm-started from `state` when

@@ -1,0 +1,201 @@
+// Unit coverage of the mid-run churn building blocks: schedule derivation,
+// LiveOverlayFeed bookkeeping (run-id space, mask growth, stats, flush),
+// and run_churn's mid-run mode (trace invariants, config validation, the
+// ε-warm budget accounting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dynamics/epoch_driver.hpp"
+#include "dynamics/midrun.hpp"
+#include "graph/categories.hpp"
+#include "sim/runner.hpp"
+
+namespace byz {
+namespace {
+
+using graph::NodeId;
+
+TEST(ChurnScheduleTest, DerivationIsDeterministicSortedAndComplete) {
+  dynamics::ChurnEpoch epoch;
+  epoch.joins = 9;
+  epoch.sybil_joins = 3;
+  epoch.leaves = 7;
+  const auto a = dynamics::derive_schedule(epoch, 120, 42);
+  const auto b = dynamics::derive_schedule(epoch, 120, 42);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.joins(), epoch.joins);
+  EXPECT_EQ(a.sybil_joins(), epoch.sybil_joins);
+  EXPECT_EQ(a.leaves(), epoch.leaves);
+  EXPECT_TRUE(std::is_sorted(
+      a.events.begin(), a.events.end(),
+      [](const auto& x, const auto& y) { return x.round < y.round; }));
+  for (const auto& e : a.events) EXPECT_LT(e.round, 120u);
+  const auto c = dynamics::derive_schedule(epoch, 120, 43);
+  EXPECT_NE(a.events, c.events) << "different seeds must move the events";
+}
+
+TEST(ChurnScheduleTest, HorizonGrowsWithNetworkSize) {
+  proto::ScheduleConfig sched;
+  const auto small = dynamics::expected_horizon_rounds(256, 6, sched);
+  const auto large = dynamics::expected_horizon_rounds(4096, 6, sched);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(large, small);
+}
+
+TEST(LiveOverlayFeedTest, GrowsStableMaskAndEndsAtTraceMembership) {
+  constexpr NodeId kN0 = 192;
+  dynamics::MutableOverlay overlay(kN0, 6, 0, 5);
+  util::Xoshiro256 place_rng(17);
+  std::vector<bool> byz = graph::random_byzantine_mask(
+      kN0, sim::derive_byz_count(kN0, 0.6), place_rng);
+
+  dynamics::ChurnEpoch epoch;
+  epoch.joins = 10;
+  epoch.sybil_joins = 2;
+  epoch.leaves = 8;
+  proto::ProtocolConfig cfg;
+  const auto schedule = dynamics::derive_schedule(
+      epoch, dynamics::expected_horizon_rounds(kN0, 6, cfg.schedule), 9);
+
+  dynamics::MidRunConfig mid_cfg;
+  mid_cfg.policy = proto::MembershipPolicy::kReadmitNextPhase;
+  util::Xoshiro256 churn_rng(23);
+  auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto out = dynamics::run_counting_midrun(
+      overlay, byz, *strategy, cfg, 77, schedule, mid_cfg,
+      adv::ChurnAdversary::kNone, churn_rng);
+
+  // Every scheduled event lands, mid-run or flushed.
+  EXPECT_EQ(out.stats.events_applied + out.stats.events_flushed,
+            schedule.events.size());
+  EXPECT_EQ(out.stats.joins, 12u);
+  EXPECT_EQ(out.stats.leaves, 8u);
+  EXPECT_EQ(overlay.num_alive(), kN0 + 12 - 8);
+  EXPECT_EQ(byz.size(), overlay.id_bound());
+  // Run-id space: snapshot members + every scheduled joiner, all mapped
+  // to stable ids after the flush.
+  ASSERT_EQ(out.run.status.size(), kN0 + 12u);
+  ASSERT_EQ(out.run_to_stable.size(), kN0 + 12u);
+  for (const NodeId s : out.run_to_stable) {
+    EXPECT_NE(s, graph::kInvalidNode);
+  }
+  // Sybil joiner slots carry the Byzantine flag through to the stable mask.
+  std::uint32_t sybils = 0;
+  for (NodeId v = kN0; v < out.run_byz.size(); ++v) {
+    if (out.run_byz[v]) {
+      ++sybils;
+      EXPECT_TRUE(byz[out.run_to_stable[v]]);
+    }
+  }
+  EXPECT_EQ(sybils, 2u);
+  // Departed members are marked and carry no estimate.
+  std::uint32_t departed = 0;
+  for (std::size_t v = 0; v < out.run.status.size(); ++v) {
+    if (out.run.status[v] == proto::NodeStatus::kDeparted) {
+      ++departed;
+      EXPECT_EQ(out.run.estimate[v], 0u);
+      EXPECT_FALSE(overlay.is_alive(out.run_to_stable[v]));
+    }
+  }
+  EXPECT_GT(departed, 0u);
+}
+
+TEST(MidRunChurnModeTest, ReplaysTraceAndReportsMidRunStats) {
+  for (const auto policy : {proto::MembershipPolicy::kTreatAsSilent,
+                            proto::MembershipPolicy::kReadmitNextPhase}) {
+    dynamics::ChurnRunConfig cfg;
+    cfg.trace.n0 = 192;
+    cfg.trace.epochs = 4;
+    cfg.trace.arrival_rate = 8.0;
+    cfg.trace.departure_rate = 8.0;
+    cfg.trace.min_n = 96;
+    cfg.trace.seed = 3;
+    cfg.d = 6;
+    cfg.delta = 0.7;
+    cfg.seed = 3;
+    cfg.mid_run.enabled = true;
+    cfg.mid_run.policy = policy;
+
+    const auto result = dynamics::run_churn(cfg);
+    ASSERT_EQ(result.epochs.size(), cfg.trace.epochs);
+    std::uint64_t events = 0;
+    for (std::uint32_t e = 0; e < result.epochs.size(); ++e) {
+      const auto& ep = result.epochs[e];
+      EXPECT_EQ(ep.n_true, result.trace.epochs[e].n_after);
+      EXPECT_TRUE(ep.estimated);
+      EXPECT_GT(ep.messages, 0u);
+      events += ep.midrun_events_applied + ep.midrun_events_flushed;
+      if (policy == proto::MembershipPolicy::kTreatAsSilent) {
+        EXPECT_EQ(ep.midrun_admitted, 0u);
+      }
+    }
+    EXPECT_GT(events, 0u);
+  }
+}
+
+TEST(MidRunChurnModeTest, RejectsIncompatibleTiers) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 64;
+  cfg.trace.epochs = 1;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+  cfg.incremental.incremental = false;
+  cfg.incremental.warm_start = true;
+  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+  cfg.incremental.warm_start = false;
+  cfg.run_engine = true;
+  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+  cfg.run_engine = false;
+  cfg.incremental.adaptive = true;
+  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+}
+
+TEST(EpsWarmTest, RequiresWarmStart) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 64;
+  cfg.trace.epochs = 1;
+  cfg.incremental.eps_warm = true;
+  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+}
+
+TEST(EpsWarmTest, BudgetAccountingHoldsAcrossEpochs) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 1024;
+  cfg.trace.epochs = 5;
+  cfg.trace.arrival_rate = 4.0;
+  cfg.trace.departure_rate = 4.0;
+  cfg.trace.min_n = 512;
+  cfg.trace.seed = 13;
+  cfg.d = 6;
+  cfg.delta = 0.7;
+  cfg.seed = 13;
+  cfg.incremental.incremental = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;  // counts divergences, enforces budget
+  cfg.incremental.eps_warm = true;
+  cfg.incremental.eps_budget = 0.10;
+  cfg.incremental.eps_margin = 0;  // n=1024's decided-phase tail is shallow
+  cfg.incremental.warm.max_drift = 0.5;
+
+  // run_churn throws if any epoch's divergence exceeds floor(ε·honest).
+  const auto result = dynamics::run_churn(cfg);
+  bool any_eps = false;
+  for (const auto& ep : result.epochs) {
+    if (!ep.eps_used) {
+      EXPECT_EQ(ep.eps_divergent, 0u);
+      continue;
+    }
+    any_eps = true;
+    EXPECT_GT(ep.eps_entry_phase, 1u);
+    EXPECT_GT(ep.eps_skipped_subphases, 0u);
+    EXPECT_GT(ep.eps_budget_nodes, 0u);
+    EXPECT_LE(ep.eps_divergent, ep.eps_budget_nodes);
+    // The decided phases must respect the entry clamp.
+  }
+  EXPECT_TRUE(any_eps) << "ε-warm phase skip never engaged";
+}
+
+}  // namespace
+}  // namespace byz

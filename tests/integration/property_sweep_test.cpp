@@ -139,6 +139,9 @@ TEST_P(ProtocolProperties, ByzantineRunInvariants) {
       case proto::NodeStatus::kUndecided:
         EXPECT_EQ(run.estimate[v], 0u);
         break;
+      case proto::NodeStatus::kDeparted:
+        ADD_FAILURE() << "static runs cannot produce kDeparted";
+        break;
     }
   }
   EXPECT_EQ(byz, r.byz_count);

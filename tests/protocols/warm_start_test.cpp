@@ -121,6 +121,74 @@ TEST(WarmStart, RefinementRerunsOnlyWhereTheEstimateMoved) {
   EXPECT_EQ(rerun.refine_reused, boot.refine_recomputed);
 }
 
+TEST(EpsWarm, NeverEngagesOnColdOrBootstrapRuns) {
+  Fixture f(256, 9);
+  ProtocolConfig cfg;
+  WarmState state;
+  WarmConfig warm;
+  warm.eps_phase_skip = true;
+  warm.eps_margin = 0;
+  auto s = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto boot = run_counting_warm(f.overlay, f.byz, *s, cfg, 5,
+                                      f.identity, {}, 0.0, warm, state);
+  EXPECT_FALSE(boot.warm_used);
+  EXPECT_FALSE(boot.eps_used);  // first-ever run: nothing seeded to skip to
+  EXPECT_EQ(boot.eps_entry_phase, 1u);
+
+  // Excess drift forces the cold fallback; the skip must not survive it.
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto cold = run_counting_warm(f.overlay, f.byz, *s2, cfg, 6,
+                                      f.identity, {}, 0.9, warm, state);
+  EXPECT_FALSE(cold.warm_used);
+  EXPECT_FALSE(cold.eps_used);
+}
+
+TEST(EpsWarm, QuantileEntrySkipsPhasesWithinTheBudget) {
+  Fixture f(1024, 33);
+  ProtocolConfig cfg;
+  WarmState state;
+  const std::uint64_t seed1 = 101, seed2 = 202;
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  WarmConfig warm;
+  (void)run_counting_warm(f.overlay, f.byz, *s1, cfg, seed1, f.identity, {},
+                          0.0, warm, state);
+
+  warm.eps_phase_skip = true;
+  warm.eps_budget = 0.10;
+  warm.eps_margin = 0;
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto eps = run_counting_warm(f.overlay, f.byz, *s2, cfg, seed2,
+                                     f.identity, {}, 0.0, warm, state);
+  ASSERT_TRUE(eps.warm_used);
+  ASSERT_TRUE(eps.eps_used) << "seeded estimates deep enough, skip expected";
+  EXPECT_GT(eps.eps_entry_phase, 1u);
+  EXPECT_GT(eps.eps_skipped_subphases, 0u);
+  EXPECT_GT(eps.eps_budget_nodes, 0u);
+
+  // Every decision respects the entry clamp by construction.
+  for (std::size_t v = 0; v < eps.run.status.size(); ++v) {
+    if (eps.run.status[v] == NodeStatus::kDecided) {
+      EXPECT_GE(eps.run.estimate[v], eps.eps_entry_phase);
+    }
+  }
+
+  // The accounting invariant against the cold shadow on the same colors:
+  // divergent decisions fit in floor(eps_budget * honest).
+  auto s3 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto cold = run_counting(f.overlay, f.byz, *s3, cfg, seed2);
+  std::uint64_t divergent = 0;
+  for (std::size_t v = 0; v < cold.status.size(); ++v) {
+    if (cold.status[v] != eps.run.status[v] ||
+        cold.estimate[v] != eps.run.estimate[v]) {
+      ++divergent;
+    }
+  }
+  // Zero is legitimate (the entry phase can sit exactly at the cold
+  // minimum); the invariant is the upper bound.
+  EXPECT_LE(divergent, eps.eps_budget_nodes);
+}
+
 TEST(WarmStart, RejectsMismatchedInputs) {
   Fixture f(64, 1);
   ProtocolConfig cfg;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fail CI when an intra-repo markdown link is broken.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Checks two classes of references in each given markdown file:
+  * inline links  [text](target)  whose target is not a URL or a pure
+    in-page anchor: the referenced path (resolved relative to the file,
+    any #fragment stripped) must exist in the working tree;
+  * backtick path mentions like `src/dynamics/midrun.hpp` or
+    `docs/ARCHITECTURE.md` — single-token code spans that look like repo
+    paths (contain a '/' and end in a known source/doc extension, with a
+    trailing ".*"/"*" glob meaning "this basename prefix exists"). These
+    are how the repo's prose cites code, so they rot just like links.
+
+External URLs (http/https/mailto) are out of scope — this guard is about
+the repo staying self-consistent, not the internet staying up.
+"""
+
+import glob
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`([^`\s]+)`")
+PATH_EXTS = (".md", ".hpp", ".cpp", ".py", ".yml", ".txt", ".json")
+
+
+def candidate_paths(doc_path, target):
+    """Paths (relative to the doc, then the repo root) a target may mean."""
+    target = target.split("#", 1)[0]
+    if not target:
+        return []
+    rel = os.path.normpath(os.path.join(os.path.dirname(doc_path), target))
+    root = os.path.normpath(target)
+    return [rel] if rel == root else [rel, root]
+
+
+def span_is_pathlike(span):
+    if "/" not in span or span.startswith(("http://", "https://")):
+        return False
+    if span.endswith((".*", "*")):
+        return span.rstrip("*").rstrip(".").endswith("/") is False
+    return span.endswith(PATH_EXTS)
+
+
+def check_file(doc_path):
+    errors = []
+    text = open(doc_path, encoding="utf-8").read()
+
+    for match in INLINE_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        if not any(os.path.exists(p) for p in candidate_paths(doc_path, target)):
+            errors.append(f"{doc_path}: broken link target '{target}'")
+
+    for match in CODE_SPAN.finditer(text):
+        span = match.group(1)
+        if not span_is_pathlike(span):
+            continue
+        if span.endswith(("*", ".*")):
+            stem = span.rstrip("*").rstrip(".")
+            hits = glob.glob(stem + "*") or glob.glob(
+                os.path.join(os.path.dirname(doc_path), stem + "*"))
+            if not hits:
+                errors.append(f"{doc_path}: no files match cited glob '{span}'")
+        elif not any(os.path.exists(p)
+                     for p in candidate_paths(doc_path, span)):
+            errors.append(f"{doc_path}: cited path '{span}' does not exist")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    all_errors = []
+    for doc in argv[1:]:
+        if not os.path.exists(doc):
+            all_errors.append(f"document not found: {doc}")
+            continue
+        all_errors.extend(check_file(doc))
+    for err in all_errors:
+        print(f"ERROR: {err}")
+    if not all_errors:
+        print(f"ok: {len(argv) - 1} documents, all intra-repo references "
+              "resolve")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
