@@ -35,10 +35,16 @@
 // accounting invariant (E25 asserts it against a cold shadow).
 //
 // --mid-run-churn applies each epoch's joins/leaves DURING its estimation
-// run — spread over the flood rounds — instead of between runs, under
+// run — placed on individual flood rounds — instead of between runs, under
 // --policy=silent (membership changes are silence until the next run) or
 // --policy=readmit (live neighbor resolution, joiners admitted at phase
-// boundaries). Incompatible with --incremental/--adaptive, which assume a
+// boundaries). --schedule picks the event timing: uniform over the
+// expected rounds, frontier-leaves (departures strike the observed flood
+// wavefront at its peak rounds), or boundary-join-storm (joins packed
+// onto phase-final rounds to stress readmission). --engine-oracle
+// additionally replays every epoch's schedule through the message-level
+// sim::Engine and reports whether the two tiers agreed bitwise (the E26
+// contract). Incompatible with --incremental/--adaptive, which assume a
 // frozen snapshot per run.
 #include <algorithm>
 #include <cmath>
@@ -80,6 +86,15 @@ byz::proto::MembershipPolicy parse_policy(const std::string& name) {
                               " (try silent, readmit)");
 }
 
+byz::adv::MidRunScheduleStrategy parse_schedule(const std::string& name) {
+  for (const auto s : byz::adv::all_midrun_schedule_strategies()) {
+    if (name == byz::adv::to_string(s)) return s;
+  }
+  throw std::invalid_argument(
+      "unknown mid-run schedule: " + name +
+      " (try uniform, frontier-leaves, boundary-join-storm)");
+}
+
 /// The --churn mode: --trials independent churn runs through the shared
 /// scheduler, aggregated per epoch.
 int run_churn_mode(const byz::util::ArgParser& args) {
@@ -111,8 +126,11 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   cfg.incremental.eps_budget = args.real("eps-budget");
   cfg.incremental.eps_margin =
       static_cast<std::uint32_t>(args.integer("eps-margin"));
+  const bool engine_oracle = args.flag("engine-oracle");
   cfg.mid_run.enabled = mid_run;
   cfg.mid_run.policy = parse_policy(args.str("policy"));
+  cfg.mid_run.schedule = parse_schedule(args.str("schedule"));
+  cfg.run_engine = engine_oracle;
   if (eps_warm && !incremental) {
     std::cerr << "size_service: --eps-warm needs the warm tier "
                  "(pass --incremental)\n";
@@ -122,6 +140,12 @@ int run_churn_mode(const byz::util::ArgParser& args) {
     std::cerr << "size_service: --mid-run-churn applies churn DURING each "
                  "run and cannot be combined with --incremental/--adaptive "
                  "(they assume a frozen snapshot per run)\n";
+    return 2;
+  }
+  if (engine_oracle && incremental) {
+    std::cerr << "size_service: --engine-oracle compares against the cold "
+                 "message-level engine and cannot be combined with "
+                 "--incremental\n";
     return 2;
   }
 
@@ -146,8 +170,10 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   if (eps_warm) title += ", eps-warm";
   if (mid_run) {
     title += std::string(", mid-run churn [") +
-             proto::to_string(cfg.mid_run.policy) + "]";
+             proto::to_string(cfg.mid_run.policy) + ", " +
+             adv::to_string(cfg.mid_run.schedule) + "]";
   }
+  if (engine_oracle) title += ", engine oracle";
   util::Table table(title + ")");
   std::vector<std::string> columns = {
       "epoch",         "n(t)",           "byz",  "joins", "leaves",
@@ -156,10 +182,11 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   if (incremental) columns.push_back("balls redone");
   if (eps_warm) columns.push_back("entry phase");
   if (mid_run) columns.push_back("events mid-run");
+  if (engine_oracle) columns.push_back("engine ok");
   table.columns(columns);
   for (std::uint32_t e = 0; e < cfg.trace.epochs; ++e) {
     util::OnlineStats n_t, byz_n, joins, leaves, fresh, stale, ratio, msgs;
-    util::OnlineStats estimated, redone, entry, applied_frac;
+    util::OnlineStats estimated, redone, entry, applied_frac, engine_ok;
     for (const auto& run : runs) {
       const auto& ep = run.epochs[e];
       n_t.add(static_cast<double>(ep.n_true));
@@ -181,6 +208,7 @@ int run_churn_mode(const byz::util::ArgParser& args) {
         applied_frac.add(static_cast<double>(ep.midrun_events_applied) /
                          static_cast<double>(events));
       }
+      if (ep.estimated) engine_ok.add(ep.engine_match ? 1.0 : 0.0);
       // Runs with no carried-over estimates contribute nothing (averaging
       // in 0.0 would bias the column toward zero).
       if (ep.stale_nodes > 0) stale.add(ep.stale_frac_in_band);
@@ -216,6 +244,11 @@ int run_churn_mode(const byz::util::ArgParser& args) {
                    : util::format_double(100.0 * applied_frac.mean(), 1) +
                          "% live");
     }
+    if (engine_oracle) {
+      row.cell(engine_ok.count() == 0
+                   ? std::string("-")
+                   : util::format_double(100.0 * engine_ok.mean(), 0) + "%");
+    }
   }
   std::string note =
       "Each epoch applies the trace's joins/leaves to the mutable "
@@ -241,7 +274,17 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   if (mid_run) {
     note += " Mid-run churn: the epoch's events strike DURING the run at "
             "scheduled flood rounds ('events mid-run' = share the run "
-            "reached before terminating; the rest apply right after).";
+            "reached before terminating; the rest apply right after). "
+            "Schedule '" +
+            std::string(adv::to_string(cfg.mid_run.schedule)) +
+            "' decides WHEN the same event budget lands (and, for "
+            "frontier-leaves, that departures strike the observed flood "
+            "wavefront).";
+  }
+  if (engine_oracle) {
+    note += " Engine oracle: every epoch's run is replayed by the "
+            "message-level sim::Engine and 'engine ok' reports bitwise "
+            "agreement with the fast path.";
   }
   table.note(note);
   std::cout << table;
@@ -297,6 +340,13 @@ int main(int argc, char** argv) {
                                  "--adaptive)");
   args.add_option("policy", "mid-run membership policy: silent, readmit",
                   "readmit");
+  args.add_option("schedule", "mid-run event timing: uniform, "
+                              "frontier-leaves, boundary-join-storm",
+                  "uniform");
+  args.add_flag("engine-oracle", "churn mode: replay every epoch's run "
+                                 "through the message-level engine and "
+                                 "report bitwise agreement (works with "
+                                 "--mid-run-churn; not with --incremental)");
 
   graph::NodeId n;
   std::uint32_t d;

@@ -13,6 +13,11 @@
 //                          victim, wrapping it in Byzantine direct
 //                          neighbors (the eclipse placement of the §4 open
 //                          problem, reached through legal joins).
+//
+// All three act at event-REPLAY time: the trace fixes how many events an
+// epoch has, these strategies decide who. The third axis — WHEN events
+// strike relative to an in-flight run, and frontier-aware victim choice —
+// is the mid-run schedule adversary in midrun_schedule.hpp.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,149 @@
+#include "adversary/midrun_schedule.hpp"
+
+#include <algorithm>
+
+#include "dynamics/midrun.hpp"
+
+namespace byz::adv {
+
+namespace {
+
+using dynamics::ChurnSchedule;
+using dynamics::MidRunEvent;
+using dynamics::MidRunEventKind;
+using graph::NodeId;
+
+/// Deepest phase whose FIRST round still lies inside the horizon (phase
+/// geometry of proto::schedule; the horizon is the run's expected rounds).
+std::uint32_t max_phase_in_horizon(std::uint64_t horizon, std::uint32_t d,
+                                   const proto::ScheduleConfig& schedule) {
+  std::uint32_t i = 0;
+  while (proto::rounds_through_phase(i, d, schedule) < horizon) ++i;
+  return i;
+}
+
+/// Wavefront-peak rounds: the middle step of every subphase of the
+/// deepest half of the phases the run is expected to execute — where the
+/// flood frontier of phase i's i-step flood is widest and the phases are
+/// deep enough that silencing a relay actually truncates dissemination.
+std::vector<std::uint64_t> frontier_peak_rounds(
+    std::uint64_t horizon, std::uint32_t d,
+    const proto::ScheduleConfig& schedule) {
+  const std::uint32_t max_i = max_phase_in_horizon(horizon, d, schedule);
+  const std::uint32_t lo = std::max<std::uint32_t>(1, max_i / 2 + 1);
+  std::vector<std::uint64_t> rounds;
+  for (std::uint32_t i = lo; i <= max_i; ++i) {
+    const std::uint64_t phase_start =
+        proto::rounds_through_phase(i - 1, d, schedule);
+    const std::uint32_t peak_step = (i + 1) / 2;  // 1-based middle step
+    const std::uint32_t subphases = proto::subphases_in_phase(i, d, schedule);
+    for (std::uint32_t j = 0; j < subphases; ++j) {
+      const std::uint64_t r =
+          phase_start + static_cast<std::uint64_t>(j) * i + (peak_step - 1);
+      if (r < horizon) rounds.push_back(r);
+    }
+  }
+  return rounds;
+}
+
+/// Phase-final rounds: the last round of every phase that completes within
+/// the horizon — one round before the next begin_phase admission point.
+std::vector<std::uint64_t> boundary_rounds(
+    std::uint64_t horizon, std::uint32_t d,
+    const proto::ScheduleConfig& schedule) {
+  std::vector<std::uint64_t> rounds;
+  for (std::uint32_t i = 1;; ++i) {
+    const std::uint64_t through = proto::rounds_through_phase(i, d, schedule);
+    if (through > horizon) break;
+    rounds.push_back(through - 1);
+  }
+  return rounds;
+}
+
+}  // namespace
+
+const char* to_string(MidRunScheduleStrategy strategy) {
+  switch (strategy) {
+    case MidRunScheduleStrategy::kUniform:
+      return "uniform";
+    case MidRunScheduleStrategy::kFrontierLeaves:
+      return "frontier-leaves";
+    case MidRunScheduleStrategy::kBoundaryJoinStorm:
+      return "boundary-join-storm";
+  }
+  return "?";
+}
+
+std::vector<MidRunScheduleStrategy> all_midrun_schedule_strategies() {
+  return {MidRunScheduleStrategy::kUniform,
+          MidRunScheduleStrategy::kFrontierLeaves,
+          MidRunScheduleStrategy::kBoundaryJoinStorm};
+}
+
+dynamics::ChurnSchedule derive_adversarial_schedule(
+    const dynamics::ChurnEpoch& epoch, std::uint64_t horizon_rounds,
+    std::uint64_t seed, MidRunScheduleStrategy strategy, std::uint32_t d,
+    const proto::ScheduleConfig& schedule) {
+  if (strategy == MidRunScheduleStrategy::kUniform) {
+    return dynamics::derive_schedule(epoch, horizon_rounds, seed);
+  }
+  if (horizon_rounds == 0) horizon_rounds = 1;
+
+  // Adversarially timed event classes draw from the strategy's candidate
+  // rounds; everything else stays uniform. A degenerate horizon with no
+  // candidates falls back to uniform placement — the budget is spent
+  // either way.
+  std::vector<std::uint64_t> candidates;
+  if (strategy == MidRunScheduleStrategy::kFrontierLeaves) {
+    candidates = frontier_peak_rounds(horizon_rounds, d, schedule);
+  } else {
+    candidates = boundary_rounds(horizon_rounds, d, schedule);
+  }
+
+  ChurnSchedule out;
+  util::Xoshiro256 rng(util::mix_seed(seed, 0x31D2));
+  const auto emit = [&](std::uint32_t count, MidRunEventKind kind,
+                        bool adversarial) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t round =
+          (adversarial && !candidates.empty())
+              ? candidates[rng.below(candidates.size())]
+              : rng.below(horizon_rounds);
+      out.events.push_back({round, kind});
+    }
+  };
+  const bool storm = strategy == MidRunScheduleStrategy::kBoundaryJoinStorm;
+  // Generation order joins -> sybil joins -> leaves; the stable sort keeps
+  // that order within a round, matching the trace bookkeeping order.
+  emit(epoch.joins, MidRunEventKind::kJoin, storm);
+  emit(epoch.sybil_joins, MidRunEventKind::kSybilJoin, storm);
+  emit(epoch.leaves, MidRunEventKind::kLeave, !storm);
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const MidRunEvent& a, const MidRunEvent& b) {
+                     return a.round < b.round;
+                   });
+  return out;
+}
+
+graph::NodeId pick_frontier_departure(
+    const dynamics::MutableOverlay& overlay, const std::vector<bool>& byz,
+    std::span<const graph::NodeId> frontier_stable, util::Xoshiro256& rng) {
+  const auto is_byz = [&](NodeId v) { return v < byz.size() && byz[v]; };
+  // Honest alive wavefront members, deduplicated in stable-id order so the
+  // draw is independent of traversal incidentals.
+  std::vector<NodeId> targets;
+  for (const NodeId v : frontier_stable) {
+    if (overlay.is_alive(v) && !is_byz(v)) targets.push_back(v);
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  if (targets.empty()) {
+    for (NodeId v = 0; v < overlay.id_bound(); ++v) {
+      if (overlay.is_alive(v) && !is_byz(v)) targets.push_back(v);
+    }
+  }
+  if (targets.empty()) return overlay.random_alive(rng);
+  return targets[rng.below(targets.size())];
+}
+
+}  // namespace byz::adv

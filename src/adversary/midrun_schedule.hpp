@@ -1,0 +1,79 @@
+// Adversarial MID-RUN churn schedules: when the adversary controls not
+// just which nodes churn but WHEN they churn relative to the in-flight
+// flood, uniform-over-rounds timing (dynamics::derive_schedule) is the
+// weakest workload it would ever choose. The paper's model is an adaptive
+// adversary (§2.1: full information, including the current protocol
+// state), and the companion Byzantine-resilient counting work (PAPERS.md)
+// analyzes frontier-directed disruption explicitly — so this module
+// derives schedules that spend the SAME ChurnEpoch event budget at the
+// worst moments instead:
+//
+//   kUniform            events spread uniformly over the expected rounds —
+//                       bitwise identical to dynamics::derive_schedule;
+//                       the clean-churn baseline E27 compares against.
+//   kFrontierLeaves     departures strike at wavefront peaks — the
+//                       mid-subphase steps of the deepest phases the run
+//                       is expected to reach, where the flood frontier is
+//                       widest — and the replay-time victim choice
+//                       (pick_frontier_departure) hits nodes ON the
+//                       observed frontier, silencing exactly the relays
+//                       that were about to spread fresh maxima. Joins
+//                       stay uniform.
+//   kBoundaryJoinStorm  every join lands on the LAST round of some phase,
+//                       so under kReadmitNextPhase the whole storm is
+//                       admitted together at the very next boundary —
+//                       maximal admission batches and Verifier-rebuild
+//                       pressure with minimal pre-admission dwell time.
+//                       Departures stay uniform.
+//
+// Contract shared with the uniform path: the schedule spends EXACTLY the
+// epoch's {joins, sybil_joins, leaves} (matched budgets — E27's accuracy
+// comparison is apples to apples), every round lies in [0, horizon), and
+// derivation is a pure function of (epoch, horizon, seed, strategy,
+// d, schedule config) — bitwise reproducible for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dynamics/churn_schedule.hpp"
+#include "dynamics/churn_trace.hpp"
+#include "dynamics/mutable_overlay.hpp"
+#include "protocols/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace byz::adv {
+
+enum class MidRunScheduleStrategy : std::uint8_t {
+  kUniform,           ///< uniform rounds, uniform victims (the baseline)
+  kFrontierLeaves,    ///< leaves timed + targeted at the flood wavefront
+  kBoundaryJoinStorm, ///< joins packed onto phase-final rounds
+};
+
+[[nodiscard]] const char* to_string(MidRunScheduleStrategy strategy);
+[[nodiscard]] std::vector<MidRunScheduleStrategy>
+all_midrun_schedule_strategies();
+
+/// Derives one run's mid-run schedule from a trace epoch's event budget
+/// (see the file comment for per-strategy timing). `horizon_rounds` is the
+/// run's expected round count (dynamics::expected_horizon_rounds); `d` and
+/// `schedule` let the adversarial strategies resolve phase geometry —
+/// which global rounds are mid-subphase peaks or phase-final rounds.
+/// kUniform delegates to dynamics::derive_schedule bitwise.
+[[nodiscard]] dynamics::ChurnSchedule derive_adversarial_schedule(
+    const dynamics::ChurnEpoch& epoch, std::uint64_t horizon_rounds,
+    std::uint64_t seed, MidRunScheduleStrategy strategy, std::uint32_t d,
+    const proto::ScheduleConfig& schedule);
+
+/// Replay-time victim choice for kFrontierLeaves: a uniform draw over the
+/// honest alive members of `frontier_stable` (stable ids — the wavefront
+/// the hooks observed at the departure round, mapped out of run-id space).
+/// Falls back to a uniform honest alive node when the frontier holds no
+/// honest target, then to any alive node — exactly one rng draw per call
+/// on every path, like pick_departure.
+[[nodiscard]] graph::NodeId pick_frontier_departure(
+    const dynamics::MutableOverlay& overlay, const std::vector<bool>& byz,
+    std::span<const graph::NodeId> frontier_stable, util::Xoshiro256& rng);
+
+}  // namespace byz::adv

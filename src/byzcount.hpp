@@ -14,6 +14,7 @@
 #pragma once
 
 #include "adversary/churn.hpp"           // IWYU pragma: export
+#include "adversary/midrun_schedule.hpp" // IWYU pragma: export
 #include "adversary/placement.hpp"       // IWYU pragma: export
 #include "adversary/strategies.hpp"      // IWYU pragma: export
 #include "analysis/experiment.hpp"       // IWYU pragma: export

@@ -1,0 +1,40 @@
+// The per-round mid-run churn workload: WHAT strikes and WHEN (which flood
+// round), decoupled from WHO (the victim / splice anchors — replay-time
+// decisions of the churn adversary, adversary/churn.hpp) and from HOW the
+// rounds were chosen (uniform vs adversarial timing —
+// adversary/midrun_schedule.hpp derives both from the same ChurnEpoch
+// budget). Split out of dynamics/midrun.hpp so the adversary layer can
+// shape schedules without depending on the replay machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace byz::dynamics {
+
+enum class MidRunEventKind : std::uint8_t { kJoin, kSybilJoin, kLeave };
+
+/// One scheduled membership change, keyed on the 0-based global flood
+/// round it strikes (proto::RoundClock::round). WHICH node departs and
+/// WHERE a joiner splices stay replay-time decisions of the churn
+/// adversary, exactly as in the between-runs path.
+struct MidRunEvent {
+  std::uint64_t round = 0;
+  MidRunEventKind kind = MidRunEventKind::kJoin;
+
+  bool operator==(const MidRunEvent&) const = default;
+};
+
+/// A per-round churn workload for one protocol run, sorted by round
+/// (ties keep joins before sybil joins before leaves, matching the trace
+/// bookkeeping order that clamped the counts).
+struct ChurnSchedule {
+  std::vector<MidRunEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] std::uint32_t joins() const noexcept;
+  [[nodiscard]] std::uint32_t sybil_joins() const noexcept;
+  [[nodiscard]] std::uint32_t leaves() const noexcept;
+};
+
+}  // namespace byz::dynamics

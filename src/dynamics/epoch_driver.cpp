@@ -54,11 +54,11 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   }
   if (cfg.mid_run.enabled &&
       (inc_cfg.incremental || inc_cfg.warm_start || inc_cfg.verify_snapshots ||
-       inc_cfg.verify_warm || inc_cfg.adaptive || cfg.run_engine)) {
+       inc_cfg.verify_warm || inc_cfg.adaptive)) {
     throw std::invalid_argument(
         "run_churn: mid_run applies churn DURING each run — the incremental "
-        "tier, adaptive cadence, and the message-level Engine all assume a "
-        "frozen snapshot per run and cannot be combined with it");
+        "tier and adaptive cadence assume a frozen snapshot per run and "
+        "cannot be combined with it");
   }
 
   ChurnRunResult out;
@@ -102,13 +102,29 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       const NodeId n_before = overlay.num_alive();
       const std::uint64_t horizon = expected_horizon_rounds(
           n_before, cfg.d, cfg.protocol.schedule);
-      const ChurnSchedule schedule = derive_schedule(
-          epoch, horizon, util::mix_seed(cfg.seed, kMidRunStream + e));
+      const ChurnSchedule schedule = adv::derive_adversarial_schedule(
+          epoch, horizon, util::mix_seed(cfg.seed, kMidRunStream + e),
+          cfg.mid_run.schedule, cfg.d, cfg.protocol.schedule);
       const std::uint64_t color_seed =
           util::mix_seed(cfg.seed, kColorStream + e);
       auto strategy = adv::make_strategy(cfg.strategy);
       MidRunConfig mid_cfg;
       mid_cfg.policy = cfg.mid_run.policy;
+      mid_cfg.schedule_strategy = cfg.mid_run.schedule;
+      // Engine oracle: replay the identical schedule from a copy of the
+      // pre-run state through the message-level engine and demand a
+      // bitwise-identical outcome (the E26 contract, per epoch).
+      std::optional<MidRunOutcome> engine_outcome;
+      if (cfg.run_engine) {
+        MutableOverlay engine_overlay = overlay;
+        engine_overlay.set_observer(nullptr);
+        std::vector<bool> engine_byz = byz;
+        util::Xoshiro256 engine_rng = churn_rng;
+        auto engine_strategy = adv::make_strategy(cfg.strategy);
+        engine_outcome = run_counting_midrun_engine(
+            engine_overlay, engine_byz, *engine_strategy, cfg.protocol,
+            color_seed, schedule, mid_cfg, cfg.churn_adversary, engine_rng);
+      }
       auto outcome = run_counting_midrun(overlay, byz, *strategy,
                                          cfg.protocol, color_seed, schedule,
                                          mid_cfg, cfg.churn_adversary,
@@ -160,7 +176,11 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       stats.midrun_events_flushed = outcome.stats.events_flushed;
       stats.midrun_admitted = outcome.stats.admitted;
       stats.midrun_verifier_refreshes = outcome.stats.verifier_refreshes;
+      stats.midrun_frontier_leaves = outcome.stats.frontier_leaves;
       stats.verify_rows_recomputed = outcome.stats.rows_recomputed;
+      if (engine_outcome) {
+        stats.engine_match = *engine_outcome == outcome;
+      }
 
       for (std::size_t i = 0; i < outcome.run.status.size(); ++i) {
         if (outcome.run.status[i] == proto::NodeStatus::kDecided) {

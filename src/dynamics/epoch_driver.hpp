@@ -17,10 +17,13 @@
 //     paper's ε·n outlier budget and asserted when verify_warm is on),
 //     and drift-adaptive cadence.
 //   * mid-run churn (ChurnRunConfig::mid_run): the epoch's events are
-//     spread over the run's expected flood rounds and strike DURING it
-//     (dynamics/midrun.*), under a MembershipPolicy that decides how the
-//     in-flight run reacts. Mutually exclusive with the incremental tier
-//     and run_engine, which assume a frozen snapshot per run.
+//     placed on individual flood rounds — uniformly, or adversarially
+//     timed/targeted (adversary/midrun_schedule.hpp) — and strike DURING
+//     the run (dynamics/midrun.*), under a MembershipPolicy that decides
+//     how the in-flight run reacts. Mutually exclusive with the
+//     incremental tier (frozen snapshot per run); run_engine instead
+//     becomes the per-epoch E26 oracle: the message-level engine replays
+//     the identical schedule and must agree bitwise.
 //
 // Everything is derived from cfg.seed with SplitMix64 streams and replayed
 // sequentially, so a churn run is bitwise reproducible regardless of how
@@ -103,12 +106,21 @@ struct ChurnRunConfig {
   /// Mid-protocol churn (dynamics/midrun.*): apply each epoch's
   /// joins/leaves DURING its estimation run — spread over the run's
   /// expected flood rounds — instead of between runs. Mutually exclusive
-  /// with the incremental tier and run_engine (neither models a mutating
-  /// overlay mid-run); run_churn throws on the combination.
+  /// with the incremental tier (it assumes a frozen snapshot per run);
+  /// run_churn throws on the combination. run_engine IS supported here:
+  /// each epoch the message-level sim::Engine replays the identical
+  /// schedule from a copy of the pre-run state and EpochStats.engine_match
+  /// records whether the two tiers agreed bitwise (the E26 oracle).
   struct MidRunMode {
     bool enabled = false;
     proto::MembershipPolicy policy =
         proto::MembershipPolicy::kReadmitNextPhase;
+    /// Event TIMING and leave-victim policy
+    /// (adversary/midrun_schedule.hpp): kUniform reproduces the PR-4
+    /// uniform spread bitwise; the adversarial strategies spend the same
+    /// per-epoch budget at the worst rounds (E27).
+    adv::MidRunScheduleStrategy schedule =
+        adv::MidRunScheduleStrategy::kUniform;
   };
   MidRunMode mid_run;
 };
@@ -149,6 +161,8 @@ struct EpochStats {
   std::uint64_t midrun_events_flushed = 0;  ///< after early termination
   std::uint64_t midrun_admitted = 0;        ///< joiners admitted mid-run
   std::uint64_t midrun_verifier_refreshes = 0;
+  std::uint64_t midrun_frontier_leaves = 0; ///< departures that struck the
+                                            ///< observed flood wavefront
 };
 
 struct ChurnRunResult {

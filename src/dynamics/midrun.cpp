@@ -6,6 +6,7 @@
 
 #include "protocols/schedule.hpp"
 #include "protocols/verification.hpp"
+#include "sim/engine.hpp"
 
 namespace byz::dynamics {
 
@@ -140,7 +141,19 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
   verifier_.emplace(snap.overlay, run_byz_, verification_, rows_, chains_);
 }
 
-void LiveOverlayFeed::begin_round(const proto::RoundClock& clock) {
+void LiveOverlayFeed::begin_round(const proto::RoundClock& clock,
+                                  std::span<const graph::NodeId> frontier) {
+  // Frontier targeting: remember the wavefront this round's departures
+  // may strike, in stable-id space (the pool outlives the splices the
+  // events below apply). Only the targeting strategy pays the copy.
+  if (config_.schedule_strategy ==
+      adv::MidRunScheduleStrategy::kFrontierLeaves) {
+    frontier_stable_.clear();
+    for (const NodeId r : frontier) {
+      const NodeId s = run_to_stable_[r];
+      if (s != graph::kInvalidNode) frontier_stable_.push_back(s);
+    }
+  }
   while (next_event_ < schedule_.events.size() &&
          schedule_.events[next_event_].round <= clock.round) {
     apply_event(schedule_.events[next_event_]);
@@ -207,8 +220,19 @@ bool LiveOverlayFeed::apply_leave() {
   // but a mid-run reordering can hit the floor transiently; such leaves
   // are deferred to the flush (after the epoch's joins).
   if (overlay_->num_alive() <= 4) return false;
+  const bool target_frontier =
+      config_.schedule_strategy ==
+      adv::MidRunScheduleStrategy::kFrontierLeaves;
   const NodeId victim =
-      adv::pick_departure(*overlay_, *stable_byz_, adversary_, *rng_);
+      target_frontier
+          ? adv::pick_frontier_departure(*overlay_, *stable_byz_,
+                                         frontier_stable_, *rng_)
+          : adv::pick_departure(*overlay_, *stable_byz_, adversary_, *rng_);
+  if (target_frontier &&
+      std::find(frontier_stable_.begin(), frontier_stable_.end(), victim) !=
+          frontier_stable_.end()) {
+    ++stats_.frontier_leaves;
+  }
   std::vector<NodeId> touched;
   for (std::uint32_t c = 0; c < overlay_->num_cycles(); ++c) {
     touched.push_back(overlay_->predecessor(c, victim));
@@ -347,6 +371,9 @@ const proto::Verifier* LiveOverlayFeed::begin_phase(
 }
 
 void LiveOverlayFeed::flush_remaining() {
+  // The run is over: no wavefront exists for post-run departures to
+  // target, so flushed leaves fall back to the ordinary victim pools.
+  frontier_stable_.clear();
   while (next_event_ < schedule_.events.size()) {
     apply_event(schedule_.events[next_event_]);
     ++next_event_;
@@ -365,22 +392,30 @@ void LiveOverlayFeed::flush_remaining() {
   }
 }
 
-MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
-                                  std::vector<bool>& stable_byz,
-                                  adv::Strategy& strategy,
-                                  const proto::ProtocolConfig& cfg,
-                                  std::uint64_t color_seed,
-                                  const ChurnSchedule& schedule,
-                                  const MidRunConfig& config,
-                                  adv::ChurnAdversary adversary,
-                                  util::Xoshiro256& rng) {
+namespace {
+
+MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
+                              std::vector<bool>& stable_byz,
+                              adv::Strategy& strategy,
+                              const proto::ProtocolConfig& cfg,
+                              std::uint64_t color_seed,
+                              const ChurnSchedule& schedule,
+                              const MidRunConfig& config,
+                              adv::ChurnAdversary adversary,
+                              util::Xoshiro256& rng, bool use_engine) {
   LiveOverlayFeed feed(overlay, stable_byz, schedule, config,
                        cfg.verification, adversary, rng);
-  proto::RunControls controls;
-  controls.midrun = &feed;
   MidRunOutcome out;
-  out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
-                                     strategy, cfg, color_seed, controls);
+  if (use_engine) {
+    sim::Engine engine(feed.snapshot_overlay(), feed.run_byz(), strategy, cfg,
+                       color_seed, &feed);
+    out.run = engine.run();
+  } else {
+    proto::RunControls controls;
+    controls.midrun = &feed;
+    out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
+                                       strategy, cfg, color_seed, controls);
+  }
   feed.flush_remaining();
   // Reconcile statuses with the FLUSHED membership: events past the run's
   // termination still count for the epoch, so nodes that left during the
@@ -398,6 +433,71 @@ MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
   out.run_byz = feed.run_byz();
   out.stats = feed.stats();
   return out;
+}
+
+}  // namespace
+
+MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
+                                  std::vector<bool>& stable_byz,
+                                  adv::Strategy& strategy,
+                                  const proto::ProtocolConfig& cfg,
+                                  std::uint64_t color_seed,
+                                  const ChurnSchedule& schedule,
+                                  const MidRunConfig& config,
+                                  adv::ChurnAdversary adversary,
+                                  util::Xoshiro256& rng) {
+  return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
+                         schedule, config, adversary, rng,
+                         /*use_engine=*/false);
+}
+
+MidRunOutcome run_counting_midrun_engine(MutableOverlay& overlay,
+                                         std::vector<bool>& stable_byz,
+                                         adv::Strategy& strategy,
+                                         const proto::ProtocolConfig& cfg,
+                                         std::uint64_t color_seed,
+                                         const ChurnSchedule& schedule,
+                                         const MidRunConfig& config,
+                                         adv::ChurnAdversary adversary,
+                                         util::Xoshiro256& rng) {
+  return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
+                         schedule, config, adversary, rng,
+                         /*use_engine=*/true);
+}
+
+MidRunTierComparison compare_midrun_tiers(const MutableOverlay& overlay,
+                                          const std::vector<bool>& stable_byz,
+                                          adv::StrategyKind strategy,
+                                          const proto::ProtocolConfig& cfg,
+                                          std::uint64_t color_seed,
+                                          const ChurnSchedule& schedule,
+                                          const MidRunConfig& config,
+                                          adv::ChurnAdversary adversary,
+                                          const util::Xoshiro256& rng) {
+  MidRunTierComparison cmp;
+  {
+    MutableOverlay fast_overlay = overlay;
+    fast_overlay.set_observer(nullptr);
+    std::vector<bool> fast_byz = stable_byz;
+    util::Xoshiro256 fast_rng = rng;
+    auto fast_strategy = adv::make_strategy(strategy);
+    cmp.fastpath =
+        run_counting_midrun(fast_overlay, fast_byz, *fast_strategy, cfg,
+                            color_seed, schedule, config, adversary, fast_rng);
+  }
+  {
+    MutableOverlay engine_overlay = overlay;
+    engine_overlay.set_observer(nullptr);
+    std::vector<bool> engine_byz = stable_byz;
+    util::Xoshiro256 engine_rng = rng;
+    auto engine_strategy = adv::make_strategy(strategy);
+    cmp.engine = run_counting_midrun_engine(engine_overlay, engine_byz,
+                                            *engine_strategy, cfg, color_seed,
+                                            schedule, config, adversary,
+                                            engine_rng);
+  }
+  cmp.identical = cmp.fastpath == cmp.engine;
+  return cmp;
 }
 
 }  // namespace byz::dynamics

@@ -35,10 +35,22 @@
 //     the run, so an epoch always ends in the same overlay state as the
 //     between-runs path (the trace's n_after invariant holds either way).
 //
-// Correctness anchor (E24): with an empty schedule the feed is a pure
-// pass-through and run_counting_midrun is BITWISE identical — statuses,
-// estimates, round counts, every instrumentation counter — to
-// proto::run_counting on the same snapshot, under both policies.
+// Correctness anchors:
+//   E24  with an empty schedule the feed is a pure pass-through and
+//        run_counting_midrun is BITWISE identical — statuses, estimates,
+//        round counts, every instrumentation counter — to
+//        proto::run_counting on the same snapshot, under both policies.
+//   E26  at NONZERO mid-run churn, the message-level sim::Engine driven by
+//        an identical feed (run_counting_midrun_engine) produces a bitwise
+//        identical MidRunOutcome for every rate/policy/strategy — the two
+//        tiers cross-check each other's mid-run membership machinery, so
+//        fastpath-only behavior is no longer unverifiable.
+//
+// Adversarial schedules (adversary/midrun_schedule.hpp) reuse this replay
+// machinery unchanged: derive_adversarial_schedule shapes WHEN the same
+// event budget strikes, and MidRunConfig::schedule_strategy switches the
+// leave-victim policy to the observed flood wavefront (the feed records
+// the frontier each begin_round hands it).
 #pragma once
 
 #include <cstdint>
@@ -46,38 +58,15 @@
 #include <vector>
 
 #include "adversary/churn.hpp"
+#include "adversary/midrun_schedule.hpp"
 #include "adversary/strategies.hpp"
+#include "dynamics/churn_schedule.hpp"
 #include "dynamics/churn_trace.hpp"
 #include "dynamics/mutable_overlay.hpp"
 #include "protocols/fastpath.hpp"
 #include "protocols/midrun.hpp"
 
 namespace byz::dynamics {
-
-enum class MidRunEventKind : std::uint8_t { kJoin, kSybilJoin, kLeave };
-
-/// One scheduled membership change, keyed on the 0-based global flood
-/// round it strikes (proto::RoundClock::round). WHICH node departs and
-/// WHERE a joiner splices stay replay-time decisions of the churn
-/// adversary, exactly as in the between-runs path.
-struct MidRunEvent {
-  std::uint64_t round = 0;
-  MidRunEventKind kind = MidRunEventKind::kJoin;
-
-  bool operator==(const MidRunEvent&) const = default;
-};
-
-/// A per-round churn workload for one protocol run, sorted by round
-/// (ties keep joins before sybil joins before leaves, matching the trace
-/// bookkeeping order that clamped the counts).
-struct ChurnSchedule {
-  std::vector<MidRunEvent> events;
-
-  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
-  [[nodiscard]] std::uint32_t joins() const noexcept;
-  [[nodiscard]] std::uint32_t sybil_joins() const noexcept;
-  [[nodiscard]] std::uint32_t leaves() const noexcept;
-};
 
 /// Spreads one trace epoch's {joins, sybil_joins, leaves} over the rounds
 /// [0, horizon_rounds) with a SplitMix64-derived stream of `seed` —
@@ -98,6 +87,15 @@ struct ChurnSchedule {
 
 struct MidRunConfig {
   proto::MembershipPolicy policy = proto::MembershipPolicy::kReadmitNextPhase;
+  /// Victim policy for leave events (adversary/midrun_schedule.hpp): under
+  /// kFrontierLeaves the feed records the wavefront handed to each
+  /// begin_round and departures strike honest nodes ON it
+  /// (adv::pick_frontier_departure); every other strategy departs through
+  /// the ordinary churn adversary. The schedule's TIMING is the caller's
+  /// business (derive_adversarial_schedule) — the feed replays whatever
+  /// rounds it is given.
+  adv::MidRunScheduleStrategy schedule_strategy =
+      adv::MidRunScheduleStrategy::kUniform;
 };
 
 struct MidRunStats {
@@ -109,6 +107,9 @@ struct MidRunStats {
   std::uint64_t admitted = 0;           ///< joiners admitted at boundaries
   std::uint64_t verifier_refreshes = 0; ///< live Verifier rebuilds
   std::uint64_t rows_recomputed = 0;    ///< ball/chain rows recomputed live
+  std::uint64_t frontier_leaves = 0;    ///< departures that hit the wavefront
+
+  bool operator==(const MidRunStats&) const = default;
 };
 
 /// MutableOverlay-backed implementation of proto::MidRunHooks (see file
@@ -135,7 +136,12 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
       graph::NodeId v) const override {
     return adj_[v];
   }
-  void begin_round(const proto::RoundClock& clock) override;
+  void begin_round(const proto::RoundClock& clock,
+                   std::span<const graph::NodeId> frontier) override;
+  [[nodiscard]] bool wants_frontier() const override {
+    return config_.schedule_strategy ==
+           adv::MidRunScheduleStrategy::kFrontierLeaves;
+  }
   [[nodiscard]] const proto::Verifier* begin_phase(
       std::uint32_t phase, std::vector<graph::NodeId>& admitted) override;
 
@@ -194,6 +200,11 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
   std::vector<std::uint8_t> departed_;
   std::vector<std::vector<graph::NodeId>> adj_;  ///< run-id simple H view
 
+  /// Stable ids of the wavefront observed at the most recent begin_round
+  /// (kFrontierLeaves only; empty otherwise) — the target pool for
+  /// frontier-directed departures applied that round.
+  std::vector<graph::NodeId> frontier_stable_;
+
   std::uint32_t k_ = 0;
   bool rows_dirty_ = false;
   std::vector<graph::NodeId> pending_admit_;
@@ -210,6 +221,10 @@ struct MidRunOutcome {
   std::vector<graph::NodeId> run_to_stable;
   std::vector<bool> run_byz;
   MidRunStats stats;
+
+  /// Full bitwise identity over all four members — the relation the E26
+  /// oracle and the epoch driver's engine_match assert.
+  bool operator==(const MidRunOutcome&) const = default;
 };
 
 /// Snapshots `overlay`, runs the counting protocol with `schedule` applied
@@ -224,5 +239,38 @@ struct MidRunOutcome {
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
     util::Xoshiro256& rng);
+
+/// The same run executed by the message-level sim::Engine instead of the
+/// array fast path — identical feed, identical rng/byz evolution, and (the
+/// E26 oracle) an identical MidRunOutcome bit for bit: the two tiers must
+/// agree under NONZERO mid-run churn, not just at the E24 empty-schedule
+/// anchor.
+[[nodiscard]] MidRunOutcome run_counting_midrun_engine(
+    MutableOverlay& overlay, std::vector<bool>& stable_byz,
+    adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
+    std::uint64_t color_seed, const ChurnSchedule& schedule,
+    const MidRunConfig& config, adv::ChurnAdversary adversary,
+    util::Xoshiro256& rng);
+
+struct MidRunTierComparison {
+  MidRunOutcome fastpath;
+  MidRunOutcome engine;
+  /// Full bitwise identity of the two outcomes: RunResult (statuses,
+  /// estimates, phase/round/subphase counts, every instrumentation
+  /// counter), the run→stable map, the Byzantine mask evolution, and the
+  /// mid-run event bookkeeping.
+  bool identical = false;
+};
+
+/// Runs BOTH tiers from the identical initial state — each on its own
+/// copy of (overlay, byz mask, churn rng), with a fresh strategy instance
+/// per tier — and compares the outcomes bitwise. The inputs are left
+/// untouched; this is the mid-run equivalence oracle E26 sweeps.
+[[nodiscard]] MidRunTierComparison compare_midrun_tiers(
+    const MutableOverlay& overlay, const std::vector<bool>& stable_byz,
+    adv::StrategyKind strategy, const proto::ProtocolConfig& cfg,
+    std::uint64_t color_seed, const ChurnSchedule& schedule,
+    const MidRunConfig& config, adv::ChurnAdversary adversary,
+    const util::Xoshiro256& rng);
 
 }  // namespace byz::dynamics

@@ -31,6 +31,11 @@ struct RunResult {
   std::uint64_t subphases_scheduled = 0;
   std::uint64_t subphases_executed = 0;
   sim::Instrumentation instr;
+
+  /// Bitwise identity: statuses, estimates, phase/round/subphase counts,
+  /// and every instrumentation counter. This is the relation the E24/E26
+  /// parity anchors and the tier-equivalence suites assert.
+  bool operator==(const RunResult&) const = default;
 };
 
 /// Accuracy summary against the true size n: the paper's guarantee is that

@@ -16,6 +16,7 @@ void FloodWorkspace::ensure(NodeId n) {
   frontier.clear();
   next_frontier.clear();
   touched.clear();
+  live_frontier.clear();
 }
 
 void run_flood_subphase(const graph::Overlay& overlay,
@@ -60,12 +61,26 @@ void run_flood_subphase(const graph::Overlay& overlay,
   for (std::uint32_t t = 1; t <= params.steps; ++t) {
     // Mid-run churn: apply the events scheduled for this round BEFORE its
     // sends, so a node departing at round r never sends at r and a joiner
-    // entering at r can receive at r.
+    // entering at r can receive at r. The hooks also get the canonical
+    // wavefront — the sorted set of protocol-conformant senders as of the
+    // previous round's membership — so an adaptive churn adversary can
+    // target the flood frontier; the message-level engine derives the
+    // identical set, keeping the two tiers bitwise equivalent.
     if (live != nullptr) {
+      ws.live_frontier.clear();
+      if (live->wants_frontier()) {
+        for (const NodeId u : ws.frontier) {
+          if (crashed[u]) continue;
+          if (byz_mask[u] && !params.byz_forward) continue;
+          if (!live->alive(u)) continue;
+          ws.live_frontier.push_back(u);
+        }
+        std::sort(ws.live_frontier.begin(), ws.live_frontier.end());
+      }
       RoundClock clock = params.clock;
       clock.step = t;
       clock.round = params.clock.round + (t - 1);
-      params.live->begin_round(clock);
+      params.live->begin_round(clock, ws.live_frontier);
     }
     ws.touched.clear();
     auto deliver = [&](NodeId receiver, NodeId sender, Color c, bool verify) {

@@ -63,6 +63,9 @@ class FloodWorkspace {
   std::vector<graph::NodeId> frontier;
   std::vector<graph::NodeId> next_frontier;
   std::vector<graph::NodeId> touched;
+  /// Canonical (sorted) wavefront handed to MidRunHooks::begin_round; only
+  /// populated when live hooks are attached.
+  std::vector<graph::NodeId> live_frontier;
 };
 
 struct FloodParams {

@@ -76,7 +76,28 @@ class MidRunHooks {
 
   /// Applies every churn event scheduled for clock.round. Called by the
   /// flood kernel before that round's sends; monotone in clock.round.
-  virtual void begin_round(const RoundClock& clock) = 0;
+  ///
+  /// `frontier` is the round's flood wavefront: the sorted run-ids of the
+  /// protocol-conformant senders of this round — nodes whose running
+  /// maximum improved in the previous step (at step 1, the color
+  /// generators), minus crashed nodes, minus Byzantine ids when the
+  /// strategy does not relay floods, minus nodes dead as of the PREVIOUS
+  /// round (this round's events have not been applied yet — that is what
+  /// this call is about to do). Both protocol tiers derive the identical
+  /// set, so an implementation may key adversarial decisions on it (the
+  /// adaptive adversary of the paper's model watches the wavefront; see
+  /// adversary/midrun_schedule.hpp) without breaking engine↔fastpath
+  /// equivalence. Derived only when wants_frontier() is true (empty span
+  /// otherwise); only valid for the duration of the call.
+  virtual void begin_round(const RoundClock& clock,
+                           std::span<const graph::NodeId> frontier) = 0;
+
+  /// Does this implementation consume begin_round's frontier? When false
+  /// (the default for non-targeting schedules), BOTH tiers skip the
+  /// wavefront derivation identically and hand begin_round an empty span
+  /// — the gate depends only on the shared hooks instance, so tier
+  /// equivalence is unaffected while the common path pays nothing.
+  [[nodiscard]] virtual bool wants_frontier() const { return false; }
 
   /// Phase boundary: applies the membership policy. Fills `admitted` with
   /// the joiner ids that become full (generating) participants this phase

@@ -15,32 +15,41 @@ using proto::Color;
 
 Engine::Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
                adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
-               std::uint64_t color_seed)
+               std::uint64_t color_seed, proto::MidRunHooks* midrun)
     : overlay_(overlay),
       byz_(byz_mask),
       strategy_(strategy),
       cfg_(cfg),
       color_seed_(color_seed),
-      world_(World::make(overlay, byz_mask, color_seed)),
-      verifier_(overlay, byz_mask, cfg.verification) {
-  if (byz_mask.size() != overlay.num_nodes()) {
+      midrun_(midrun),
+      nb_(midrun ? midrun->node_bound() : overlay.num_nodes()),
+      world_(World::make(overlay, byz_mask, color_seed)) {
+  if (nb_ < overlay.num_nodes() || byz_mask.size() != nb_) {
     throw std::invalid_argument("Engine: mask size mismatch");
   }
-  nodes_.resize(overlay.num_nodes());
-  inbox_.resize(overlay.num_nodes());
+  if (midrun_ == nullptr) {
+    owned_verifier_.emplace(overlay, byz_mask, cfg.verification);
+    verifier_ = &*owned_verifier_;
+  }
+  nodes_.resize(nb_);
+  inbox_.resize(nb_);
 }
 
 proto::RunResult Engine::run() {
   const NodeId n = overlay_.num_nodes();
   const std::uint32_t d = overlay_.params().d;
   result_ = proto::RunResult{};
-  result_.status.assign(n, proto::NodeStatus::kUndecided);
-  result_.estimate.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
+  result_.status.assign(nb_, proto::NodeStatus::kUndecided);
+  result_.estimate.assign(nb_, 0);
+  for (NodeId v = 0; v < nb_; ++v) {
+    // Scheduled sybil joiners (ids past the snapshot) are Byzantine from
+    // the start for bookkeeping, exactly as in the fast path.
     if (byz_[v]) result_.status[v] = proto::NodeStatus::kByzantine;
   }
 
   // --- Setup (Algorithm 2 lines 1-2): claims, conflicts, crashes. ---
+  // Mid-run joiners skip setup: they were not present for the adjacency
+  // exchange, so the claims and the crash rule span the snapshot only.
   proto::ClaimSet claims(overlay_);
   strategy_.setup_lies(world_, claims);
   if (cfg_.crash_rule) {
@@ -63,31 +72,73 @@ proto::RunResult Engine::run() {
   }
 
   const std::uint32_t max_phase = proto::resolve_max_phase(overlay_, cfg_);
-  std::uint64_t active = 0;
+  active_.assign(nb_, 0);
+  active_count_ = 0;
   for (NodeId v = 0; v < n; ++v) {
-    if (!byz_[v] && !nodes_[v].crashed) ++active;
+    if (!byz_[v] && !nodes_[v].crashed) {
+      active_[v] = 1;
+      ++active_count_;
+    }
   }
+  participates_.assign(nb_, 0);
+  std::fill(participates_.begin(), participates_.begin() + n, 1);
+  global_round_ = 0;
+  std::vector<NodeId> admitted;
 
   std::uint32_t phase = 0;
-  while (phase < max_phase && active > 0) {
+  while (phase < max_phase && active_count_ > 0) {
     ++phase;
+    if (midrun_ != nullptr) {
+      // Phase boundary: the membership policy admits pending joiners (they
+      // start generating this phase) and hands back the Verifier the
+      // phase's floods must use (refreshed under kReadmitNextPhase).
+      admitted.clear();
+      verifier_ = midrun_->begin_phase(phase, admitted);
+      for (const NodeId a : admitted) {
+        if (a >= nb_ || participates_[a] != 0) continue;
+        participates_[a] = 1;
+        if (!byz_[a] && !nodes_[a].crashed &&
+            result_.status[a] == proto::NodeStatus::kUndecided) {
+          active_[a] = 1;
+          ++active_count_;
+        }
+      }
+    }
     for (auto& m : nodes_) m.fired_this_phase = false;
     const std::uint32_t subphases =
         proto::subphases_in_phase(phase, d, cfg_.schedule);
+    result_.subphases_scheduled += subphases;
     for (std::uint32_t j = 1; j <= subphases; ++j) {
       run_subphase(phase, j,
                    proto::global_subphase_index(phase, j, d, cfg_.schedule));
     }
-    for (NodeId v = 0; v < n; ++v) {
-      auto& m = nodes_[v];
-      if (byz_[v] || m.crashed || m.decided) continue;
-      if (!m.fired_this_phase) {
-        m.decided = true;
-        m.estimate = phase;
-        result_.status[v] = proto::NodeStatus::kDecided;
-        result_.estimate[v] = phase;
-        --active;
+
+    // Mid-run churn: nodes that left the overlay during this phase are no
+    // longer members — they take no estimate and leave the active set
+    // before the decide sweep reads the fired flags.
+    if (midrun_ != nullptr) {
+      for (NodeId v = 0; v < nb_; ++v) {
+        if (result_.status[v] == proto::NodeStatus::kDeparted ||
+            !midrun_->departed(v)) {
+          continue;
+        }
+        if (active_[v] != 0) {
+          active_[v] = 0;
+          --active_count_;
+        }
+        if (result_.status[v] != proto::NodeStatus::kByzantine) {
+          result_.status[v] = proto::NodeStatus::kDeparted;
+          result_.estimate[v] = 0;
+        }
       }
+    }
+
+    for (NodeId v = 0; v < nb_; ++v) {
+      if (active_[v] == 0 || nodes_[v].fired_this_phase) continue;
+      active_[v] = 0;
+      --active_count_;
+      result_.status[v] = proto::NodeStatus::kDecided;
+      result_.estimate[v] = phase;
     }
   }
   result_.phases_executed = phase;
@@ -97,19 +148,18 @@ proto::RunResult Engine::run() {
 
 void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
                           std::uint32_t s) {
-  const NodeId n = overlay_.num_nodes();
   const auto& h = overlay_.h_simple();
   const bool byz_gen = strategy_.generates_honestly();
   const bool byz_fwd = strategy_.forwards_floods();
   const double threshold = proto::continue_threshold(phase, overlay_.params().d);
 
-  // Draw colors: honest active nodes generate; Byzantine machines track the
-  // counterfactual honest draw when the strategy mimics the protocol.
-  for (NodeId v = 0; v < n; ++v) {
+  // Draw colors: admitted active nodes generate; Byzantine machines track
+  // the counterfactual honest draw when the strategy mimics the protocol.
+  for (NodeId v = 0; v < nb_; ++v) {
     auto& m = nodes_[v];
     Color own = 0;
-    const bool generates =
-        byz_[v] ? byz_gen : (!m.crashed && !m.decided);
+    const bool generates = (active_[v] != 0 || (byz_[v] && byz_gen)) &&
+                           (midrun_ == nullptr || participates_[v] != 0);
     if (generates) own = proto::color_at(color_seed_, v, s);
     m.begin_subphase(own);
   }
@@ -117,18 +167,40 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
   std::vector<proto::Injection> injections;
   strategy_.plan_subphase(world_, {phase, j, s}, injections);
 
-  std::vector<Color> recv(n, 0);
+  std::vector<Color> recv(nb_, 0);
   for (std::uint32_t t = 1; t <= phase; ++t) {
+    // Mid-run churn: hand the hooks the canonical wavefront and let them
+    // apply this round's events BEFORE the sends — so a node departing at
+    // round r never sends at r and a joiner entering at r can receive at
+    // r. The sender predicate below and the kernel's frontier derivation
+    // are the same set, keeping both tiers bitwise equivalent.
+    if (midrun_ != nullptr) {
+      frontier_scratch_.clear();
+      if (midrun_->wants_frontier()) {
+        for (NodeId u = 0; u < nb_; ++u) {
+          const auto& m = nodes_[u];
+          if (m.crashed) continue;
+          if (byz_[u] && !byz_fwd) continue;
+          if (!midrun_->alive(u)) continue;
+          const bool sends = (t == 1) ? (m.own > 0) : (m.fresh_step == t - 1);
+          if (sends) frontier_scratch_.push_back(u);
+        }
+      }
+      proto::RoundClock clock{phase, j, t, global_round_ + (t - 1)};
+      midrun_->begin_round(clock, frontier_scratch_);
+    }
     std::uint64_t sent_this_round = 0;
 
     // 1. Sends, based on state at the start of the step (forward-once).
-    for (NodeId u = 0; u < n; ++u) {
+    for (NodeId u = 0; u < nb_; ++u) {
       const auto& m = nodes_[u];
       if (m.crashed) continue;
       if (byz_[u] && !byz_fwd) continue;
+      if (!present(u)) continue;
       const bool sends = (t == 1) ? (m.own > 0) : (m.fresh_step == t - 1);
       if (!sends) continue;
-      const auto nbrs = h.neighbors(u);
+      const auto nbrs =
+          midrun_ != nullptr ? midrun_->neighbors(u) : h.neighbors(u);
       result_.instr.count_token(nbrs.size());
       result_.instr.max_node_round_sends = std::max<std::uint64_t>(
           result_.instr.max_node_round_sends, nbrs.size());
@@ -137,7 +209,9 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
     }
     for (const auto& inj : injections) {
       if (inj.step != t || nodes_[inj.from].crashed) continue;
-      const auto nbrs = h.neighbors(inj.from);
+      if (!present(inj.from)) continue;
+      const auto nbrs = midrun_ != nullptr ? midrun_->neighbors(inj.from)
+                                           : h.neighbors(inj.from);
       result_.instr.count_token(nbrs.size());
       result_.instr.max_node_round_sends = std::max<std::uint64_t>(
           result_.instr.max_node_round_sends, nbrs.size());
@@ -147,10 +221,10 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
 
     // 2. Delivery: each node drains its inbox; honest nodes verify every
     // token (sender state is still pre-close, so legit_fresh is exact).
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = 0; v < nb_; ++v) {
       if (inbox_[v].empty()) continue;
       auto& m = nodes_[v];
-      if (m.crashed) {
+      if (m.crashed || !present(v)) {
         inbox_[v].clear();
         continue;
       }
@@ -159,8 +233,8 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
           const auto& sm = nodes_[tok.from];
           const Color legit =
               (t == 1) ? sm.own : ((sm.fresh_step == t - 1) ? sm.known : 0);
-          if (!verifier_.accept(tok.from, tok.color, t, legit, byz_[tok.from],
-                                result_.instr)) {
+          if (!verifier_->accept(tok.from, tok.color, t, legit, byz_[tok.from],
+                                 result_.instr)) {
             continue;
           }
         }
@@ -170,7 +244,7 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
     }
 
     // 3. Close the step.
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = 0; v < nb_; ++v) {
       if (recv[v] == 0) continue;
       auto& m = nodes_[v];
       if (t < phase) {
@@ -187,11 +261,13 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
     round_messages_.push_back(sent_this_round);
   }
   result_.instr.flood_rounds += phase;
+  global_round_ += phase;
+  ++result_.subphases_executed;
 
   // Line 18: evaluate the continuation predicate.
-  for (NodeId v = 0; v < n; ++v) {
+  for (NodeId v = 0; v < nb_; ++v) {
     auto& m = nodes_[v];
-    if (byz_[v] || m.crashed || m.decided || m.fired_this_phase) continue;
+    if (active_[v] == 0 || m.fired_this_phase) continue;
     if (m.last_step > m.best_before &&
         static_cast<double>(m.last_step) > threshold) {
       m.fired_this_phase = true;

@@ -25,6 +25,10 @@ struct Instrumentation {
   std::uint64_t max_node_round_sends = 0;  ///< peak per-node per-round fan-out
   std::uint64_t crashes = 0;
 
+  /// Counter-for-counter equality — the equivalence suites' definition of
+  /// "identical message accounting".
+  bool operator==(const Instrumentation&) const = default;
+
   void merge(const Instrumentation& other) noexcept;
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept {

@@ -3,6 +3,16 @@
 // in the current AND future rounds). Colors are a deterministic function of
 // (seed, node, global subphase), so "seeing the future" is random access
 // into the same coin table the honest nodes will draw from.
+//
+// Scope under mid-run churn: the World is built from the RUN-START
+// snapshot, so byz_nodes (and therefore every strategy's injection plan)
+// spans the snapshot's members only — scheduled mid-run joiners, sybil or
+// honest, are invisible to message-level strategies until the next run.
+// That is the documented model boundary of dynamics/midrun.hpp, and it is
+// why both execution tiers can share one World without re-deriving it per
+// membership change. The CHURN adversary's view is separate: it watches
+// the live topology (and, for frontier targeting, the flood wavefront)
+// through the MidRunHooks machinery, not through this struct.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,194 @@
+// Property coverage of the adversarial mid-run schedules
+// (adversary/midrun_schedule.hpp): every strategy spends EXACTLY the
+// epoch's event budget inside the horizon (matched budgets are what make
+// E27's accuracy comparison meaningful), derivation is a pure function of
+// its inputs (the --jobs determinism contract), the adversarial timings
+// land where their contracts say (phase-final rounds for join storms,
+// deep-phase wavefront peaks for frontier leaves), and the frontier
+// victim picker only ever strikes honest alive wavefront members.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "adversary/midrun_schedule.hpp"
+#include "dynamics/midrun.hpp"
+#include "graph/categories.hpp"
+#include "sim/runner.hpp"
+
+namespace byz {
+namespace {
+
+using graph::NodeId;
+
+dynamics::ChurnEpoch make_epoch(std::uint32_t joins, std::uint32_t sybils,
+                                std::uint32_t leaves) {
+  dynamics::ChurnEpoch epoch;
+  epoch.joins = joins;
+  epoch.sybil_joins = sybils;
+  epoch.leaves = leaves;
+  return epoch;
+}
+
+TEST(AdversarialScheduleTest, EveryStrategyRespectsBudgetAndHorizon) {
+  const proto::ScheduleConfig sched;
+  for (const auto strategy : adv::all_midrun_schedule_strategies()) {
+    for (const std::uint64_t seed : {1u, 7u, 23u, 91u}) {
+      for (const std::uint64_t horizon : {1u, 12u, 120u, 800u}) {
+        const auto epoch = make_epoch(9, 3, 7);
+        const auto s = adv::derive_adversarial_schedule(epoch, horizon, seed,
+                                                        strategy, 6, sched);
+        EXPECT_EQ(s.joins(), epoch.joins) << adv::to_string(strategy);
+        EXPECT_EQ(s.sybil_joins(), epoch.sybil_joins);
+        EXPECT_EQ(s.leaves(), epoch.leaves);
+        for (const auto& e : s.events) {
+          EXPECT_LT(e.round, std::max<std::uint64_t>(horizon, 1))
+              << adv::to_string(strategy) << " horizon " << horizon;
+        }
+        EXPECT_TRUE(std::is_sorted(
+            s.events.begin(), s.events.end(),
+            [](const auto& a, const auto& b) { return a.round < b.round; }));
+      }
+    }
+  }
+}
+
+TEST(AdversarialScheduleTest, DerivationIsAPureFunctionOfItsInputs) {
+  const proto::ScheduleConfig sched;
+  const auto epoch = make_epoch(11, 2, 9);
+  for (const auto strategy : adv::all_midrun_schedule_strategies()) {
+    const auto a =
+        adv::derive_adversarial_schedule(epoch, 300, 5, strategy, 6, sched);
+    const auto b =
+        adv::derive_adversarial_schedule(epoch, 300, 5, strategy, 6, sched);
+    EXPECT_EQ(a.events, b.events) << adv::to_string(strategy);
+    const auto c =
+        adv::derive_adversarial_schedule(epoch, 300, 6, strategy, 6, sched);
+    if (strategy == adv::MidRunScheduleStrategy::kBoundaryJoinStorm) {
+      // Leaves are the uniform component here; joins may collide on the
+      // few boundary rounds, so only demand the leave placement moves.
+      std::vector<std::uint64_t> ar, cr;
+      for (const auto& e : a.events) {
+        if (e.kind == dynamics::MidRunEventKind::kLeave) ar.push_back(e.round);
+      }
+      for (const auto& e : c.events) {
+        if (e.kind == dynamics::MidRunEventKind::kLeave) cr.push_back(e.round);
+      }
+      EXPECT_NE(ar, cr) << "different seeds must move the events";
+    } else {
+      EXPECT_NE(a.events, c.events) << "different seeds must move the events";
+    }
+  }
+}
+
+TEST(AdversarialScheduleTest, UniformDelegatesToDeriveScheduleBitwise) {
+  const proto::ScheduleConfig sched;
+  const auto epoch = make_epoch(9, 3, 7);
+  const auto uniform = adv::derive_adversarial_schedule(
+      epoch, 120, 42, adv::MidRunScheduleStrategy::kUniform, 6, sched);
+  const auto reference = dynamics::derive_schedule(epoch, 120, 42);
+  EXPECT_EQ(uniform.events, reference.events);
+}
+
+TEST(AdversarialScheduleTest, BoundaryStormJoinsLandOnPhaseFinalRounds) {
+  const proto::ScheduleConfig sched;
+  constexpr std::uint32_t kD = 6;
+  const std::uint64_t horizon =
+      dynamics::expected_horizon_rounds(1024, kD, sched);
+  // The contract's target set: the last round of every phase that
+  // completes within the horizon.
+  std::set<std::uint64_t> finals;
+  for (std::uint32_t i = 1;; ++i) {
+    const auto through = proto::rounds_through_phase(i, kD, sched);
+    if (through > horizon) break;
+    finals.insert(through - 1);
+  }
+  ASSERT_FALSE(finals.empty());
+  const auto s = adv::derive_adversarial_schedule(
+      make_epoch(14, 5, 10), horizon, 77,
+      adv::MidRunScheduleStrategy::kBoundaryJoinStorm, kD, sched);
+  for (const auto& e : s.events) {
+    if (e.kind == dynamics::MidRunEventKind::kLeave) continue;
+    EXPECT_TRUE(finals.count(e.round) == 1)
+        << "join at round " << e.round << " is not phase-final";
+  }
+}
+
+TEST(AdversarialScheduleTest, FrontierLeavesStrikeDeepPhaseMidSubphase) {
+  const proto::ScheduleConfig sched;
+  constexpr std::uint32_t kD = 6;
+  const std::uint64_t horizon =
+      dynamics::expected_horizon_rounds(1024, kD, sched);
+  const auto s = adv::derive_adversarial_schedule(
+      make_epoch(6, 2, 12), horizon, 77,
+      adv::MidRunScheduleStrategy::kFrontierLeaves, kD, sched);
+  // Deepest phase started within the horizon, and the deep half below it
+  // — leaves must strike there (at mid-subphase steps), never in the
+  // shallow warm-up phases where the wavefront is trivial.
+  std::uint32_t max_i = 0;
+  while (proto::rounds_through_phase(max_i, kD, sched) < horizon) ++max_i;
+  const std::uint32_t lo = std::max<std::uint32_t>(1, max_i / 2 + 1);
+  const std::uint64_t deep_start =
+      proto::rounds_through_phase(lo - 1, kD, sched);
+  for (const auto& e : s.events) {
+    if (e.kind != dynamics::MidRunEventKind::kLeave) continue;
+    EXPECT_GE(e.round, deep_start)
+        << "frontier leave scheduled in a shallow phase";
+    // Identify the phase/step the round falls in and check it is the
+    // contract's peak step.
+    std::uint32_t i = lo;
+    while (proto::rounds_through_phase(i, kD, sched) <= e.round) ++i;
+    const std::uint64_t within =
+        e.round - proto::rounds_through_phase(i - 1, kD, sched);
+    const auto step = static_cast<std::uint32_t>(within % i) + 1;  // 1-based
+    EXPECT_EQ(step, (i + 1) / 2)
+        << "leave at round " << e.round << " is not phase " << i
+        << "'s mid-subphase peak";
+  }
+}
+
+TEST(FrontierDeparturePickerTest, OnlyStrikesHonestAliveFrontierMembers) {
+  constexpr NodeId kN0 = 128;
+  dynamics::MutableOverlay overlay(kN0, 6, 0, 3);
+  util::Xoshiro256 place_rng(11);
+  const std::vector<bool> byz = graph::random_byzantine_mask(
+      kN0, sim::derive_byz_count(kN0, 0.6), place_rng);
+
+  util::Xoshiro256 rng(99);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < 32; ++v) frontier.push_back(v);
+  for (int trial = 0; trial < 64; ++trial) {
+    const NodeId victim =
+        adv::pick_frontier_departure(overlay, byz, frontier, rng);
+    EXPECT_TRUE(overlay.is_alive(victim));
+    EXPECT_FALSE(byz[victim]);
+    EXPECT_TRUE(std::find(frontier.begin(), frontier.end(), victim) !=
+                frontier.end());
+  }
+  // An all-Byzantine frontier falls back to the honest alive pool.
+  std::vector<NodeId> byz_frontier;
+  for (NodeId v = 0; v < kN0; ++v) {
+    if (byz[v]) byz_frontier.push_back(v);
+  }
+  ASSERT_FALSE(byz_frontier.empty());
+  const NodeId fallback =
+      adv::pick_frontier_departure(overlay, byz, byz_frontier, rng);
+  EXPECT_TRUE(overlay.is_alive(fallback));
+  EXPECT_FALSE(byz[fallback]);
+}
+
+TEST(FrontierDeparturePickerTest, DeterministicGivenRngState) {
+  constexpr NodeId kN0 = 96;
+  dynamics::MutableOverlay overlay(kN0, 6, 0, 5);
+  const std::vector<bool> byz(kN0, false);
+  std::vector<NodeId> frontier{3, 9, 27, 81};
+  util::Xoshiro256 rng_a(7);
+  util::Xoshiro256 rng_b(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(adv::pick_frontier_departure(overlay, byz, frontier, rng_a),
+              adv::pick_frontier_departure(overlay, byz, frontier, rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace byz

@@ -145,11 +145,39 @@ TEST(MidRunChurnModeTest, RejectsIncompatibleTiers) {
   cfg.incremental.warm_start = true;
   EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
   cfg.incremental.warm_start = false;
-  cfg.run_engine = true;
-  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
-  cfg.run_engine = false;
   cfg.incremental.adaptive = true;
   EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+}
+
+TEST(MidRunChurnModeTest, EngineOracleMatchesFastpathPerEpoch) {
+  // run_engine is no longer excluded from mid-run mode: it replays every
+  // epoch's schedule through the message-level engine and records bitwise
+  // agreement — the E26 contract, surfaced per epoch.
+  for (const auto schedule :
+       {adv::MidRunScheduleStrategy::kUniform,
+        adv::MidRunScheduleStrategy::kFrontierLeaves}) {
+    dynamics::ChurnRunConfig cfg;
+    cfg.trace.n0 = 160;
+    cfg.trace.epochs = 3;
+    cfg.trace.arrival_rate = 6.0;
+    cfg.trace.departure_rate = 6.0;
+    cfg.trace.min_n = 96;
+    cfg.trace.seed = 11;
+    cfg.d = 6;
+    cfg.delta = 0.7;
+    cfg.seed = 11;
+    cfg.run_engine = true;
+    cfg.mid_run.enabled = true;
+    cfg.mid_run.schedule = schedule;
+
+    const auto result = dynamics::run_churn(cfg);
+    ASSERT_EQ(result.epochs.size(), cfg.trace.epochs);
+    for (const auto& ep : result.epochs) {
+      EXPECT_TRUE(ep.engine_match)
+          << "engine diverged from fastpath under mid-run churn ("
+          << adv::to_string(schedule) << ")";
+    }
+  }
 }
 
 TEST(EpsWarmTest, RequiresWarmStart) {

@@ -1,5 +1,6 @@
-// Mid-run-churn equivalence suite — the E24 correctness anchor plus the
-// Verifier membership-policy properties:
+// Mid-run-churn equivalence suite — the E24 correctness anchor, the E26
+// engine↔fastpath mid-run oracle, and the Verifier membership-policy
+// properties:
 //   (1) with an EMPTY round schedule, run_counting_midrun is bitwise
 //       identical to the static proto::run_counting on the same snapshot —
 //       statuses, estimates, phase/round counts, and every instrumentation
@@ -10,7 +11,13 @@
 //       still has to respect it);
 //   (3) under real mid-run churn, treat-as-silent joiners are never
 //       admitted — they finish the run kUndecided — while
-//       readmit-next-phase admits them at phase boundaries.
+//       readmit-next-phase admits them at phase boundaries;
+//   (4) E26: at NONZERO mid-run churn rates the message-level engine and
+//       the array fast path produce bitwise-identical MidRunOutcomes for
+//       every rate/policy/schedule-strategy combination — including the
+//       adversarial frontier-leave and boundary-join-storm schedules —
+//       and the comparison itself is deterministic (repeatable bit for
+//       bit, the --jobs independence contract).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -163,6 +170,109 @@ TEST(MidRunPolicyTest, TreatAsSilentJoinersAreNeverAdmitted) {
     EXPECT_EQ(out.stats.joins, sched.joins() + sched.sybil_joins());
   }
 }
+
+// --- (4) E26: engine↔fastpath bitwise equivalence at NONZERO churn. ---
+
+struct TierCase {
+  NodeId n0;
+  double rate;  ///< events per run as a fraction of n0 (split 1/2 J, 1/8 S)
+  adv::StrategyKind strategy;
+  proto::MembershipPolicy policy;
+  adv::MidRunScheduleStrategy schedule;
+  std::uint64_t seed;
+};
+
+class MidRunTierEquivalenceTest : public ::testing::TestWithParam<TierCase> {};
+
+dynamics::MidRunTierComparison compare_tiers(const TierCase& c) {
+  dynamics::MutableOverlay overlay(c.n0, 6, 0, c.seed);
+  util::Xoshiro256 place_rng(util::mix_seed(c.seed, 0x0B12));
+  const std::vector<bool> byz = graph::random_byzantine_mask(
+      c.n0, sim::derive_byz_count(c.n0, 0.6), place_rng);
+
+  const auto events = static_cast<std::uint32_t>(c.rate * c.n0);
+  dynamics::ChurnEpoch epoch;
+  epoch.joins = events / 2;
+  epoch.sybil_joins = events / 8;
+  epoch.leaves = events - epoch.joins - epoch.sybil_joins;
+
+  proto::ProtocolConfig cfg;
+  const auto horizon =
+      dynamics::expected_horizon_rounds(c.n0, 6, cfg.schedule);
+  const auto schedule = adv::derive_adversarial_schedule(
+      epoch, horizon, c.seed, c.schedule, 6, cfg.schedule);
+  EXPECT_FALSE(schedule.empty()) << "case exercises zero events";
+
+  dynamics::MidRunConfig mid_cfg;
+  mid_cfg.policy = c.policy;
+  mid_cfg.schedule_strategy = c.schedule;
+  util::Xoshiro256 churn_rng(util::mix_seed(c.seed, 0xC002));
+  return dynamics::compare_midrun_tiers(overlay, byz, c.strategy, cfg,
+                                        c.seed ^ 0xC, schedule, mid_cfg,
+                                        adv::ChurnAdversary::kNone, churn_rng);
+}
+
+TEST_P(MidRunTierEquivalenceTest, EngineMatchesFastpathBitwiseUnderChurn) {
+  const auto cmp = compare_tiers(GetParam());
+  // Spell out the load-bearing components before the blanket identity so a
+  // failure names what diverged.
+  EXPECT_EQ(cmp.fastpath.run.status, cmp.engine.run.status);
+  EXPECT_EQ(cmp.fastpath.run.estimate, cmp.engine.run.estimate);
+  EXPECT_EQ(cmp.fastpath.run.phases_executed, cmp.engine.run.phases_executed);
+  EXPECT_EQ(cmp.fastpath.run.flood_rounds, cmp.engine.run.flood_rounds);
+  EXPECT_EQ(cmp.fastpath.run.instr.token_messages,
+            cmp.engine.run.instr.token_messages);
+  EXPECT_EQ(cmp.fastpath.run.instr.verify_messages,
+            cmp.engine.run.instr.verify_messages);
+  EXPECT_EQ(cmp.fastpath.stats.events_applied, cmp.engine.stats.events_applied);
+  EXPECT_EQ(cmp.fastpath.stats.admitted, cmp.engine.stats.admitted);
+  EXPECT_EQ(cmp.fastpath.stats.frontier_leaves,
+            cmp.engine.stats.frontier_leaves);
+  EXPECT_TRUE(cmp.identical);
+  // Real churn actually struck mid-run (the case would otherwise collapse
+  // into E24's empty-schedule anchor).
+  EXPECT_GT(cmp.fastpath.stats.events_applied, 0u);
+}
+
+TEST(MidRunTierEquivalenceTest, ComparisonIsDeterministic) {
+  const TierCase c{224, 0.06, adv::StrategyKind::kFakeColor,
+                   proto::MembershipPolicy::kReadmitNextPhase,
+                   adv::MidRunScheduleStrategy::kFrontierLeaves, 5};
+  const auto a = compare_tiers(c);
+  const auto b = compare_tiers(c);
+  EXPECT_TRUE(a.fastpath.run == b.fastpath.run);
+  EXPECT_TRUE(a.engine.run == b.engine.run);
+  EXPECT_TRUE(a.fastpath.stats == b.fastpath.stats);
+  EXPECT_EQ(a.fastpath.run_to_stable, b.fastpath.run_to_stable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MidRunTierEquivalenceTest,
+    ::testing::Values(
+        TierCase{192, 0.05, adv::StrategyKind::kHonest,
+                 proto::MembershipPolicy::kTreatAsSilent,
+                 adv::MidRunScheduleStrategy::kUniform, 7},
+        TierCase{192, 0.05, adv::StrategyKind::kHonest,
+                 proto::MembershipPolicy::kReadmitNextPhase,
+                 adv::MidRunScheduleStrategy::kUniform, 7},
+        TierCase{256, 0.08, adv::StrategyKind::kFakeColor,
+                 proto::MembershipPolicy::kReadmitNextPhase,
+                 adv::MidRunScheduleStrategy::kFrontierLeaves, 11},
+        TierCase{256, 0.08, adv::StrategyKind::kFakeColor,
+                 proto::MembershipPolicy::kTreatAsSilent,
+                 adv::MidRunScheduleStrategy::kFrontierLeaves, 11},
+        TierCase{224, 0.06, adv::StrategyKind::kAdaptive,
+                 proto::MembershipPolicy::kReadmitNextPhase,
+                 adv::MidRunScheduleStrategy::kBoundaryJoinStorm, 23},
+        TierCase{224, 0.06, adv::StrategyKind::kSuppress,
+                 proto::MembershipPolicy::kReadmitNextPhase,
+                 adv::MidRunScheduleStrategy::kBoundaryJoinStorm, 31},
+        TierCase{160, 0.12, adv::StrategyKind::kAdaptive,
+                 proto::MembershipPolicy::kTreatAsSilent,
+                 adv::MidRunScheduleStrategy::kUniform, 43},
+        TierCase{160, 0.12, adv::StrategyKind::kFakeColor,
+                 proto::MembershipPolicy::kReadmitNextPhase,
+                 adv::MidRunScheduleStrategy::kUniform, 43}));
 
 TEST(MidRunPolicyTest, ReadmitNextPhaseAdmitsAndRefreshes) {
   bool any_admitted = false;

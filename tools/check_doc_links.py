@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Fail CI when an intra-repo markdown link is broken.
+"""Fail CI when an intra-repo markdown reference is broken.
 
 Usage: check_doc_links.py FILE.md [FILE.md ...]
 
-Checks two classes of references in each given markdown file:
-  * inline links  [text](target)  whose target is not a URL or a pure
-    in-page anchor: the referenced path (resolved relative to the file,
-    any #fragment stripped) must exist in the working tree;
+Checks three classes of references in each given markdown file:
+  * inline links  [text](target)  whose target is not a URL: the
+    referenced path (resolved relative to the file, any #fragment
+    stripped) must exist in the working tree;
+  * #anchor fragments of intra-repo markdown links — both in-page
+    ([text](#section)) and cross-document ([text](docs/FOO.md#section)):
+    the fragment must name a heading of the target document, slugified
+    the way GitHub does (lowercase, punctuation stripped, spaces to
+    dashes, -N suffixes for duplicates), or an explicit
+    <a name="..."/id="..."> anchor. docs/PROTOCOL.md's paper-to-code
+    walkthrough leans on these heavily, so they rot like paths do;
   * backtick path mentions like `src/dynamics/midrun.hpp` or
     `docs/ARCHITECTURE.md` — single-token code spans that look like repo
     paths (contain a '/' and end in a known source/doc extension, with a
@@ -24,7 +31,42 @@ import sys
 
 INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 CODE_SPAN = re.compile(r"`([^`\s]+)`")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+EXPLICIT_ANCHOR = re.compile(r"<a\s+(?:name|id)=[\"']([^\"']+)[\"']")
+FENCE = re.compile(r"^(```|~~~)")
+MD_LINK_TEXT = re.compile(r"\[([^\]]*)\]\([^)]*\)")
 PATH_EXTS = (".md", ".hpp", ".cpp", ".py", ".yml", ".txt", ".json")
+
+
+def github_slug(heading):
+    """GitHub's heading-to-anchor slug (modulo rare unicode corner cases)."""
+    text = MD_LINK_TEXT.sub(r"\1", heading)   # [text](url) -> text
+    text = text.replace("`", "")              # code spans keep their content
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)      # drop punctuation
+    return text.replace(" ", "-")
+
+
+def collect_anchors(md_path):
+    """All anchors a #fragment may legally target in md_path."""
+    anchors = set()
+    seen = {}
+    in_fence = False
+    for line in open(md_path, encoding="utf-8"):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            count = seen.get(slug, 0)
+            seen[slug] = count + 1
+            anchors.add(slug if count == 0 else f"{slug}-{count}")
+        for explicit in EXPLICIT_ANCHOR.finditer(line):
+            anchors.add(explicit.group(1))
+    return anchors
 
 
 def candidate_paths(doc_path, target):
@@ -45,16 +87,40 @@ def span_is_pathlike(span):
     return span.endswith(PATH_EXTS)
 
 
-def check_file(doc_path):
+def check_file(doc_path, anchor_cache):
     errors = []
     text = open(doc_path, encoding="utf-8").read()
 
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
     for match in INLINE_LINK.finditer(text):
         target = match.group(1)
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        if not any(os.path.exists(p) for p in candidate_paths(doc_path, target)):
+        if target.startswith("#"):
+            # Pure in-page anchor: must name a heading of THIS document.
+            fragment = target[1:]
+            if fragment and fragment not in anchors_of(doc_path):
+                errors.append(
+                    f"{doc_path}: broken in-page anchor '{target}'")
+            continue
+        hits = [p for p in candidate_paths(doc_path, target)
+                if os.path.exists(p)]
+        if not hits:
             errors.append(f"{doc_path}: broken link target '{target}'")
+            continue
+        if "#" in target:
+            # Cross-document anchor: only markdown targets have heading
+            # anchors worth validating.
+            fragment = target.split("#", 1)[1]
+            if fragment and hits[0].endswith(".md") and \
+                    fragment not in anchors_of(hits[0]):
+                errors.append(
+                    f"{doc_path}: link '{target}' names no heading/anchor "
+                    f"'#{fragment}' in {hits[0]}")
 
     for match in CODE_SPAN.finditer(text):
         span = match.group(1)
@@ -77,16 +143,17 @@ def main(argv):
         print(__doc__)
         return 2
     all_errors = []
+    anchor_cache = {}
     for doc in argv[1:]:
         if not os.path.exists(doc):
             all_errors.append(f"document not found: {doc}")
             continue
-        all_errors.extend(check_file(doc))
+        all_errors.extend(check_file(doc, anchor_cache))
     for err in all_errors:
         print(f"ERROR: {err}")
     if not all_errors:
         print(f"ok: {len(argv) - 1} documents, all intra-repo references "
-              "resolve")
+              "and anchors resolve")
     return 1 if all_errors else 0
 
 
