@@ -1,0 +1,192 @@
+// E28 — the composed tier under CONTINUOUS live churn: mid-run splices
+// (events strike WHILE Algorithm 2 floods) consumed by the incremental
+// dirty-ball observer, with the warm verifier-row cache and the per-epoch
+// message-level engine oracle all on at once. This is the steady-state hot
+// path a long-running deployment would operate: each epoch's run executes
+// on IncrementalEngine::snapshot() (only the balls dirtied by the previous
+// epoch's mid-run + flushed splices are recomputed — verify mode asserts
+// bitwise equality with a cold rebuild on every call), reuses still-valid
+// warm rows for its run-start Verifier, and is shadowed by a cold replay
+// (verify_warm) plus the engine oracle (run_engine). CI asserts
+// metrics.guard: engine divergences == 0 and the dirty-ball fraction < 1
+// at the lowest churn rate; E24/E26 remain the standalone bitwise anchors.
+// All reported metrics are counters — no wall-clock — so the manifest is
+// bitwise identical across --jobs and joins the determinism comparison.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace byz;
+using namespace byz::bench;
+
+void run_e28(RunContext& ctx) {
+  const auto sizes = analysis::pow2_sizes(9, ctx.max_exp(10));
+  const auto t = ctx.trials(3);
+  constexpr std::uint32_t kEpochs = 6;
+  const double rates[] = {0.001, 0.01};  // churn fraction per side per epoch
+  const proto::MembershipPolicy policies[] = {
+      proto::MembershipPolicy::kTreatAsSilent,
+      proto::MembershipPolicy::kReadmitNextPhase};
+
+  util::Table table("E28: composed tier under live mid-run churn, d=6 (" +
+                    std::to_string(t) + " trials, " + std::to_string(kEpochs) +
+                    " epochs, incremental+warm+oracle all on)");
+  table.columns({"n0", "policy", "churn/epoch", "balls redone", "rows reused",
+                 "warm epochs", "msg vs cold", "engine ok", "fresh in-band"});
+
+  std::vector<double> band_all;
+  std::uint64_t guard_divergences = 0;
+  double guard_dirty_frac = 1.0;
+  bool have_guard = false;
+  for (const auto n0 : sizes) {
+    for (const auto policy : policies) {
+      for (const double rate : rates) {
+        dynamics::ChurnRunConfig cfg;
+        cfg.trace.n0 = n0;
+        cfg.trace.epochs = kEpochs;
+        cfg.trace.arrival_rate = rate * n0;
+        cfg.trace.departure_rate = rate * n0;
+        cfg.trace.min_n = n0 / 2;
+        cfg.d = 6;
+        cfg.delta = 0.7;
+        cfg.strategy = adv::StrategyKind::kFakeColor;
+        cfg.run_engine = true;
+        cfg.mid_run.enabled = true;
+        cfg.mid_run.policy = policy;
+        cfg.incremental.incremental = true;
+        cfg.incremental.verify_snapshots = true;  // bitwise exactness oracle
+        cfg.incremental.warm_start = true;
+        cfg.incremental.verify_warm = true;  // cold shadow, decision parity
+        cfg.incremental.warm.max_drift = 0.5;
+
+        const std::uint64_t base_seed = 0xE28 + n0 +
+                                        static_cast<std::uint64_t>(rate * 1e4);
+        const auto runs = ctx.scheduler().map(t, [&](std::uint64_t i) {
+          auto trial_cfg = cfg;
+          trial_cfg.trace.seed =
+              bench_core::TrialScheduler::trial_seed(base_seed, i);
+          trial_cfg.seed = trial_cfg.trace.seed;
+          return dynamics::run_churn(trial_cfg);
+        });
+
+        util::OnlineStats fresh;
+        std::uint64_t recomputed = 0, reused = 0;
+        std::uint64_t rows_reused = 0, rows_recomputed = 0;
+        std::uint64_t warm_epochs = 0, steady_epochs = 0;
+        std::uint64_t messages = 0, messages_cold = 0;
+        std::uint64_t divergences = 0;
+        for (const auto& run : runs) {
+          for (std::uint32_t e = 0; e < run.epochs.size(); ++e) {
+            const auto& ep = run.epochs[e];
+            fresh.add(ep.fresh.frac_in_band);
+            band_all.push_back(ep.fresh.frac_in_band);
+            if (!ep.engine_match) ++divergences;
+            messages += ep.messages;
+            messages_cold += ep.messages_cold;
+            rows_reused += ep.verify_rows_reused;
+            rows_recomputed += ep.verify_rows_recomputed;
+            if (ep.warm_used) ++warm_epochs;
+            if (e == 0) continue;  // bootstrap epoch is a full rebuild
+            ++steady_epochs;
+            recomputed += ep.balls_recomputed;
+            reused += ep.balls_reused;
+          }
+        }
+        const double dirty_frac =
+            recomputed + reused > 0
+                ? static_cast<double>(recomputed) /
+                      static_cast<double>(recomputed + reused)
+                : 1.0;
+        const double rows_frac =
+            rows_reused + rows_recomputed > 0
+                ? static_cast<double>(rows_reused) /
+                      static_cast<double>(rows_reused + rows_recomputed)
+                : 0.0;
+        const double msg_ratio =
+            messages_cold > 0 ? static_cast<double>(messages) /
+                                    static_cast<double>(messages_cold)
+                              : 1.0;
+        const bool silent =
+            policy == proto::MembershipPolicy::kTreatAsSilent;
+        table.row()
+            .cell(std::uint64_t{n0})
+            .cell(proto::to_string(policy))
+            .cell(util::format_double(200.0 * rate, 1) + "%")
+            .cell(util::format_double(100.0 * dirty_frac, 1) + "%")
+            .cell(util::format_double(100.0 * rows_frac, 1) + "%")
+            .cell(std::to_string(warm_epochs) + "/" +
+                  std::to_string(static_cast<std::uint64_t>(t) * kEpochs))
+            .cell(util::format_double(msg_ratio, 3) + "x")
+            .cell(divergences == 0 ? "yes" : "NO")
+            .cell(fresh.mean(), 4);
+
+        Json j = Json::object();
+        j["fresh_in_band"] = fresh.mean();
+        j["dirty_frac"] = dirty_frac;
+        j["balls_recomputed"] = recomputed;
+        j["balls_reused"] = reused;
+        j["rows_reused"] = rows_reused;
+        j["rows_recomputed"] = rows_recomputed;
+        j["warm_epochs"] = warm_epochs;
+        j["messages"] = messages;
+        j["messages_cold"] = messages_cold;
+        j["engine_divergences"] = divergences;
+        ctx.metric("composed_n" + std::to_string(n0) + "_" +
+                       std::string(silent ? "silent" : "readmit") + "_c" +
+                       std::to_string(static_cast<int>(rate * 1000)) + "bp",
+                   std::move(j));
+
+        // Guard cell: lowest churn rate, readmit policy, largest size —
+        // the steady-state regime the tentpole claim is about.
+        if (!silent && rate == rates[0] && n0 == sizes.back()) {
+          guard_divergences = divergences;
+          guard_dirty_frac = dirty_frac;
+          have_guard = true;
+          Json g = Json::object();
+          g["n"] = std::uint64_t{n0};
+          g["churn_bp"] = static_cast<int>(rate * 1000);
+          g["engine_divergences"] = divergences;
+          g["dirty_frac"] = dirty_frac;
+          g["sublinear"] = dirty_frac < 1.0;
+          g["rows_reused"] = rows_reused;
+          g["warm_epochs"] = warm_epochs;
+          ctx.metric("guard", std::move(g));
+        }
+      }
+    }
+  }
+  (void)have_guard;
+  table.note("Every run starts from the incremental snapshot — "
+             "verify_snapshots cross-checks it bitwise against a cold "
+             "rebuild, so 'balls redone' is the fraction of run-start BFS "
+             "balls actually recomputed after the previous epoch's mid-run "
+             "splices (steady-state epochs only; the bootstrap is a full "
+             "rebuild by definition). verify_warm shadows every composed "
+             "run with a cold replay and throws on any decision drift, and "
+             "'engine ok' is the per-epoch message-level oracle. Guard: " +
+             std::to_string(guard_divergences) + " engine divergences, " +
+             util::format_double(100.0 * guard_dirty_frac, 1) +
+             "% balls redone at the lowest rate.");
+  ctx.emit(table);
+  ctx.record_accuracy("fresh_in_band", band_all);
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e28) {
+  ScenarioSpec spec;
+  spec.id = "e28";
+  spec.title = "Composed tier: incremental + warm + oracle under live churn";
+  spec.claim = "Mid-run churn composes with the incremental/warm tiers: "
+               "run-start snapshots recompute only splice-dirtied balls "
+               "(bitwise-verified), warm rows survive across live epochs, "
+               "and the engine oracle stays divergence-free";
+  spec.grid = {{"policy", {"treat-as-silent", "readmit-next-phase"}},
+               {"churn_rate", {"0.001", "0.01"}},
+               pow2_axis(9, 10)};
+  spec.base_trials = 3;
+  spec.metrics = {"composed_n<k>_<policy>_c<bp>.dirty_frac",
+                  "guard.engine_divergences", "guard.dirty_frac"};
+  spec.run = run_e28;
+  return spec;
+}

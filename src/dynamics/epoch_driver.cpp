@@ -43,22 +43,26 @@ bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
 
 ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   const IncrementalConfig& inc_cfg = cfg.incremental;
-  if (cfg.run_engine && inc_cfg.warm_start && !inc_cfg.verify_warm) {
+  if (!cfg.mid_run.enabled && cfg.run_engine && inc_cfg.warm_start &&
+      !inc_cfg.verify_warm) {
     throw std::invalid_argument(
         "run_churn: run_engine with warm_start requires verify_warm (the "
-        "message-level Engine is compared against the cold tier)");
+        "message-level Engine is compared against the cold tier; under "
+        "mid_run the Engine replays the warm run itself, so the "
+        "requirement lifts)");
   }
   if (inc_cfg.eps_warm && !inc_cfg.warm_start) {
     throw std::invalid_argument(
         "run_churn: eps_warm is a mode of the warm tier (enable warm_start)");
   }
-  if (cfg.mid_run.enabled &&
-      (inc_cfg.incremental || inc_cfg.warm_start || inc_cfg.verify_snapshots ||
-       inc_cfg.verify_warm || inc_cfg.adaptive)) {
+  if (cfg.mid_run.enabled && inc_cfg.eps_warm && inc_cfg.verify_warm &&
+      cfg.mid_run.schedule == adv::MidRunScheduleStrategy::kFrontierLeaves) {
     throw std::invalid_argument(
-        "run_churn: mid_run applies churn DURING each run — the incremental "
-        "tier and adaptive cadence assume a frozen snapshot per run and "
-        "cannot be combined with it");
+        "run_churn: eps_warm + verify_warm under kFrontierLeaves is "
+        "unsupported — frontier-directed victims depend on the observed "
+        "wavefront, which an ε-entry run shifts, so the cold shadow floods "
+        "a different overlay evolution and its divergence count would be "
+        "meaningless");
   }
 
   ChurnRunResult out;
@@ -68,7 +72,8 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
                          util::mix_seed(cfg.seed, kOverlayStream));
   // The incremental engine owns dirty-ball tracking; it is also attached
   // (with reuse off) when only the warm tier is on, because warm restarts
-  // need the per-epoch dirty masks.
+  // need the per-epoch dirty masks. Under mid-run churn the feed's splices
+  // go through the same observer, so the masks stay exact there too.
   std::optional<incremental::IncrementalEngine> inc;
   if (inc_cfg.incremental || inc_cfg.warm_start || inc_cfg.verify_snapshots) {
     incremental::IncrementalEngine::Config engine_cfg;
@@ -90,111 +95,12 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   double acc_drift = 0.0;
   double n_last_estimated = cfg.trace.n0;
 
-  out.epochs.reserve(out.trace.epochs.size());
-  for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
-    const ChurnEpoch& epoch = out.trace.epochs[e];
-
-    if (cfg.mid_run.enabled) {
-      // Mid-protocol churn: the epoch's events are spread over the run's
-      // expected flood rounds and applied WHILE it floods; whatever the
-      // run never reaches is flushed afterwards, so the epoch ends in the
-      // same overlay state as the between-runs path.
-      const NodeId n_before = overlay.num_alive();
-      const std::uint64_t horizon = expected_horizon_rounds(
-          n_before, cfg.d, cfg.protocol.schedule);
-      const ChurnSchedule schedule = adv::derive_adversarial_schedule(
-          epoch, horizon, util::mix_seed(cfg.seed, kMidRunStream + e),
-          cfg.mid_run.schedule, cfg.d, cfg.protocol.schedule);
-      const std::uint64_t color_seed =
-          util::mix_seed(cfg.seed, kColorStream + e);
-      auto strategy = adv::make_strategy(cfg.strategy);
-      MidRunConfig mid_cfg;
-      mid_cfg.policy = cfg.mid_run.policy;
-      mid_cfg.schedule_strategy = cfg.mid_run.schedule;
-      // Engine oracle: replay the identical schedule from a copy of the
-      // pre-run state through the message-level engine and demand a
-      // bitwise-identical outcome (the E26 contract, per epoch).
-      std::optional<MidRunOutcome> engine_outcome;
-      if (cfg.run_engine) {
-        MutableOverlay engine_overlay = overlay;
-        engine_overlay.set_observer(nullptr);
-        std::vector<bool> engine_byz = byz;
-        util::Xoshiro256 engine_rng = churn_rng;
-        auto engine_strategy = adv::make_strategy(cfg.strategy);
-        engine_outcome = run_counting_midrun_engine(
-            engine_overlay, engine_byz, *engine_strategy, cfg.protocol,
-            color_seed, schedule, mid_cfg, cfg.churn_adversary, engine_rng);
-      }
-      auto outcome = run_counting_midrun(overlay, byz, *strategy,
-                                         cfg.protocol, color_seed, schedule,
-                                         mid_cfg, cfg.churn_adversary,
-                                         churn_rng);
-      if (overlay.num_alive() != epoch.n_after) {
-        throw std::logic_error(
-            "run_churn: mid-run replay diverged from trace n_after");
-      }
-      last_estimate.resize(overlay.id_bound(), 0);
-
-      EpochStats stats;
-      const auto alive = overlay.alive_nodes();
-      const auto n = static_cast<NodeId>(alive.size());
-      stats.n_true = n;
-      stats.joins = epoch.joins + epoch.sybil_joins;
-      stats.leaves = epoch.leaves;
-      acc_drift += static_cast<double>(stats.joins + stats.leaves) /
-                   n_last_estimated;
-      stats.drift = acc_drift;
-      for (const NodeId s : alive) {
-        if (byz[s]) ++stats.byz_alive;
-      }
-      // Staleness of the estimates carried INTO this epoch, judged against
-      // the epoch-end truth (last_estimate is updated below, after this).
-      const double log_n = std::log2(static_cast<double>(n));
-      for (const NodeId s : alive) {
-        if (byz[s]) continue;
-        const std::uint32_t est = last_estimate[s];
-        if (est == 0) continue;
-        ++stats.stale_nodes;
-        const double ratio = static_cast<double>(est) / log_n;
-        if (ratio >= cfg.band_lo && ratio <= cfg.band_hi) {
-          ++stats.stale_in_band;
-        }
-      }
-      stats.stale_frac_in_band =
-          stats.stale_nodes == 0
-              ? 0.0
-              : static_cast<double>(stats.stale_in_band) /
-                    static_cast<double>(stats.stale_nodes);
-
-      stats.fresh =
-          proto::summarize_accuracy(outcome.run, n, cfg.band_lo, cfg.band_hi);
-      stats.messages = outcome.run.instr.total_messages();
-      stats.subphases_scheduled = outcome.run.subphases_scheduled;
-      stats.subphases_executed = outcome.run.subphases_executed;
-      stats.balls_recomputed = n_before;  // full snapshot at run start
-      stats.midrun_events_applied = outcome.stats.events_applied;
-      stats.midrun_events_flushed = outcome.stats.events_flushed;
-      stats.midrun_admitted = outcome.stats.admitted;
-      stats.midrun_verifier_refreshes = outcome.stats.verifier_refreshes;
-      stats.midrun_frontier_leaves = outcome.stats.frontier_leaves;
-      stats.verify_rows_recomputed = outcome.stats.rows_recomputed;
-      if (engine_outcome) {
-        stats.engine_match = *engine_outcome == outcome;
-      }
-
-      for (std::size_t i = 0; i < outcome.run.status.size(); ++i) {
-        if (outcome.run.status[i] == proto::NodeStatus::kDecided) {
-          last_estimate[outcome.run_to_stable[i]] = outcome.run.estimate[i];
-        }
-      }
-      acc_drift = 0.0;
-      n_last_estimated = static_cast<double>(n);
-      out.epochs.push_back(stats);
-      continue;
-    }
-
-    // Joins first (honest, then sybil), then departures — the bookkeeping
-    // order generate_trace assumed when it clamped the counts.
+  // Between-runs event replay: joins first (honest, then sybil), then
+  // departures — the bookkeeping order generate_trace assumed when it
+  // clamped the counts. The snapshot path uses it every epoch; mid-run
+  // mode uses it for adaptively SKIPPED epochs (no run happens, so there
+  // is nothing for the events to strike mid-flight).
+  const auto replay_between_runs = [&](const ChurnEpoch& epoch) {
     for (std::uint32_t i = 0; i < epoch.joins; ++i) {
       const auto anchors = adv::plan_join_anchors(
           overlay, byz, cfg.churn_adversary, /*joiner_byzantine=*/false,
@@ -219,39 +125,264 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     // Joiners have no previous estimate: grow the stable-id table BEFORE
     // the staleness scan reads it.
     last_estimate.resize(overlay.id_bound(), 0);
+  };
+
+  out.epochs.reserve(out.trace.epochs.size());
+  for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
+    const ChurnEpoch& epoch = out.trace.epochs[e];
+
+    // Membership/staleness bookkeeping shared by every path: judge the
+    // estimates honest survivors still carry from previous epochs against
+    // the CURRENT truth (before this epoch's run replaces them). Returns
+    // the post-churn membership count.
+    const auto fill_membership_stats = [&](EpochStats& stats) {
+      const auto alive = overlay.alive_nodes();
+      const auto n = static_cast<NodeId>(alive.size());
+      stats.n_true = n;
+      stats.joins = epoch.joins + epoch.sybil_joins;
+      stats.leaves = epoch.leaves;
+      stats.drift = acc_drift;
+      for (const NodeId s : alive) {
+        if (byz[s]) ++stats.byz_alive;
+      }
+      const double log_n = std::log2(static_cast<double>(n));
+      for (const NodeId s : alive) {
+        if (byz[s]) continue;
+        const std::uint32_t est = last_estimate[s];
+        if (est == 0) continue;
+        ++stats.stale_nodes;
+        const double ratio = static_cast<double>(est) / log_n;
+        if (ratio >= cfg.band_lo && ratio <= cfg.band_hi) {
+          ++stats.stale_in_band;
+        }
+      }
+      stats.stale_frac_in_band =
+          stats.stale_nodes == 0
+              ? 0.0
+              : static_cast<double>(stats.stale_in_band) /
+                    static_cast<double>(stats.stale_nodes);
+      return n;
+    };
+
+    if (cfg.mid_run.enabled) {
+      // Mid-protocol churn: the epoch's events are spread over the run's
+      // expected flood rounds and applied WHILE it floods; whatever the
+      // run never reaches is flushed afterwards, so the epoch ends in the
+      // same overlay state as the between-runs path.
+      const NodeId n_before = overlay.num_alive();
+      acc_drift +=
+          static_cast<double>(epoch.joins + epoch.sybil_joins + epoch.leaves) /
+          n_last_estimated;
+
+      // Drift-adaptive cadence composes with mid-run churn: a skipped
+      // epoch runs no protocol, so its events apply between runs (the
+      // splices still notify the dirty-ball tracker, so the NEXT
+      // estimating epoch's snapshot accounts for them).
+      const bool estimated = !inc_cfg.adaptive || e == 0 ||
+                             acc_drift >= inc_cfg.drift_threshold;
+      if (!estimated) {
+        replay_between_runs(epoch);
+        EpochStats stats;
+        fill_membership_stats(stats);
+        stats.estimated = false;
+        out.epochs.push_back(stats);
+        continue;
+      }
+
+      const std::uint64_t horizon = expected_horizon_rounds(
+          n_before, cfg.d, cfg.protocol.schedule);
+      const ChurnSchedule schedule = adv::derive_adversarial_schedule(
+          epoch, horizon, util::mix_seed(cfg.seed, kMidRunStream + e),
+          cfg.mid_run.schedule, cfg.d, cfg.protocol.schedule);
+      const std::uint64_t color_seed =
+          util::mix_seed(cfg.seed, kColorStream + e);
+      auto strategy = adv::make_strategy(cfg.strategy);
+      MidRunConfig mid_cfg;
+      mid_cfg.policy = cfg.mid_run.policy;
+      mid_cfg.schedule_strategy = cfg.mid_run.schedule;
+
+      // Composed tier: the run starts from the incremental snapshot
+      // (bitwise identical to a cold rebuild by IncrementalEngine's
+      // contract — verify_snapshots asserts it), reuses warm verifier
+      // rows for clean-ball members, and may enter at the ε-warm phase.
+      std::optional<MutableOverlay::Snapshot> snap;
+      if (inc) snap.emplace(inc->snapshot());
+      MidRunComposed composed;
+      composed.snapshot = snap ? &*snap : nullptr;
+      proto::WarmConfig warm_cfg = inc_cfg.warm;
+      proto::EpsEntryPlan eps_plan;
+      if (inc_cfg.warm_start) {
+        // Same fallback ladder as the snapshot path: under adaptive
+        // scheduling every estimation runs at drift >= drift_threshold by
+        // construction, so the warm bound must sit above it.
+        if (inc_cfg.adaptive) {
+          warm_cfg.max_drift =
+              std::max(warm_cfg.max_drift, 2.0 * inc_cfg.drift_threshold);
+        }
+        warm_cfg.eps_phase_skip = inc_cfg.eps_warm;
+        warm_cfg.eps_budget = inc_cfg.eps_budget;
+        warm_cfg.eps_margin = inc_cfg.eps_margin;
+        const bool cold = !warm_state.has_run ||
+                          warm_state.k != snap->overlay.k() ||
+                          acc_drift > warm_cfg.max_drift;
+        // Rows dirtied by the previous epochs' splices (mid-run, flushed,
+        // or between-runs) are dropped up front; the feed trusts
+        // row_valid alone.
+        proto::invalidate_dirty_rows(warm_state, inc->last_dirty());
+        composed.warm = &warm_state;
+        composed.warm_rows = !cold;
+        if (inc_cfg.eps_warm) {
+          std::vector<bool> dense_byz(n_before, false);
+          for (NodeId i = 0; i < n_before; ++i) {
+            if (byz[snap->dense_to_stable[i]]) dense_byz[i] = true;
+          }
+          eps_plan = proto::choose_eps_entry(
+              warm_state, snap->dense_to_stable, dense_byz,
+              proto::resolve_max_phase(snap->overlay, cfg.protocol), cfg.d,
+              cfg.protocol.schedule, warm_cfg, /*allow_skip=*/!cold);
+          composed.start_phase = eps_plan.entry_phase;
+        }
+      }
+
+      // Engine oracle: replay the identical schedule from a copy of the
+      // pre-run state through the message-level engine and demand a
+      // bitwise-identical outcome (the E26 contract, per epoch). The
+      // engine tier folds into its OWN WarmState copy so both tiers see
+      // identical caches and leave identical stats.
+      std::optional<MidRunOutcome> engine_outcome;
+      std::optional<proto::WarmState> engine_warm;
+      if (cfg.run_engine) {
+        MutableOverlay engine_overlay = overlay;
+        engine_overlay.set_observer(nullptr);
+        std::vector<bool> engine_byz = byz;
+        util::Xoshiro256 engine_rng = churn_rng;
+        auto engine_strategy = adv::make_strategy(cfg.strategy);
+        MidRunComposed engine_composed = composed;
+        if (composed.warm != nullptr) {
+          engine_warm = warm_state;
+          engine_composed.warm = &*engine_warm;
+        }
+        engine_outcome = run_counting_midrun_engine(
+            engine_overlay, engine_byz, *engine_strategy, cfg.protocol,
+            color_seed, schedule, mid_cfg, cfg.churn_adversary, engine_rng,
+            &engine_composed);
+      }
+
+      // verify_warm: shadow the composed run with a COLD mid-run replay on
+      // copies — same snapshot, no row reuse, entry at phase 1. Exact-warm
+      // epochs must match it decision-for-decision (row reuse is
+      // value-identical and moves nothing); ε-warm epochs may diverge
+      // within the ε·n budget.
+      std::optional<MidRunOutcome> cold_outcome;
+      if (inc_cfg.warm_start && inc_cfg.verify_warm) {
+        MutableOverlay cold_overlay = overlay;
+        cold_overlay.set_observer(nullptr);
+        std::vector<bool> cold_byz = byz;
+        util::Xoshiro256 cold_rng = churn_rng;
+        auto cold_strategy = adv::make_strategy(cfg.strategy);
+        MidRunComposed cold_composed;
+        cold_composed.snapshot = composed.snapshot;
+        cold_outcome = run_counting_midrun(
+            cold_overlay, cold_byz, *cold_strategy, cfg.protocol, color_seed,
+            schedule, mid_cfg, cfg.churn_adversary, cold_rng, &cold_composed);
+      }
+
+      auto outcome = run_counting_midrun(overlay, byz, *strategy,
+                                         cfg.protocol, color_seed, schedule,
+                                         mid_cfg, cfg.churn_adversary,
+                                         churn_rng, &composed);
+      if (overlay.num_alive() != epoch.n_after) {
+        throw std::logic_error(
+            "run_churn: mid-run replay diverged from trace n_after");
+      }
+      last_estimate.resize(overlay.id_bound(), 0);
+
+      EpochStats stats;
+      const NodeId n = fill_membership_stats(stats);
+
+      stats.fresh =
+          proto::summarize_accuracy(outcome.run, n, cfg.band_lo, cfg.band_hi);
+      stats.messages = outcome.run.instr.total_messages();
+      stats.subphases_scheduled = outcome.run.subphases_scheduled;
+      stats.subphases_executed = outcome.run.subphases_executed;
+      if (snap) {
+        stats.balls_recomputed = inc->stats().last_recomputed;
+        stats.balls_reused = inc->stats().last_reused;
+      } else {
+        stats.balls_recomputed = n_before;  // full snapshot at run start
+      }
+      stats.warm_used = composed.warm_rows;
+      stats.eps_used = eps_plan.eps_used;
+      stats.eps_entry_phase = eps_plan.entry_phase;
+      stats.eps_budget_nodes = eps_plan.budget_nodes;
+      stats.eps_skipped_subphases = eps_plan.skipped_subphases;
+      stats.midrun_events_applied = outcome.stats.events_applied;
+      stats.midrun_events_flushed = outcome.stats.events_flushed;
+      stats.midrun_admitted = outcome.stats.admitted;
+      stats.midrun_verifier_refreshes = outcome.stats.verifier_refreshes;
+      stats.midrun_frontier_leaves = outcome.stats.frontier_leaves;
+      stats.verify_rows_reused = outcome.stats.warm_rows_reused;
+      stats.verify_rows_recomputed =
+          outcome.stats.rows_recomputed + outcome.stats.warm_rows_recomputed;
+      if (engine_outcome) {
+        stats.engine_match = *engine_outcome == outcome;
+      }
+      if (cold_outcome) {
+        stats.messages_cold = cold_outcome->run.instr.total_messages();
+        if (!eps_plan.eps_used) {
+          // Exact tier: the equivalence contract is bitwise.
+          if (cold_outcome->run.status != outcome.run.status ||
+              cold_outcome->run.estimate != outcome.run.estimate) {
+            throw std::logic_error(
+                "run_churn: warm mid-run decisions diverged from the cold "
+                "replay at epoch " + std::to_string(e));
+          }
+        } else {
+          // ε-warm tier: divergence is allowed but must stay within the
+          // paper's outlier budget — the accounting invariant.
+          std::uint64_t divergent = 0;
+          for (std::size_t i = 0; i < outcome.run.status.size(); ++i) {
+            if (cold_outcome->run.status[i] != outcome.run.status[i] ||
+                cold_outcome->run.estimate[i] != outcome.run.estimate[i]) {
+              ++divergent;
+            }
+          }
+          stats.eps_divergent = divergent;
+          if (divergent > eps_plan.budget_nodes) {
+            throw std::logic_error(
+                "run_churn: eps-warm mid-run divergence " +
+                std::to_string(divergent) + " exceeds the ε·n budget " +
+                std::to_string(eps_plan.budget_nodes) + " at epoch " +
+                std::to_string(e));
+          }
+        }
+      }
+
+      for (std::size_t i = 0; i < outcome.run.status.size(); ++i) {
+        if (outcome.run.status[i] == proto::NodeStatus::kDecided) {
+          last_estimate[outcome.run_to_stable[i]] = outcome.run.estimate[i];
+        }
+      }
+      // Seed the next epoch's warm entry from this run's decisions (every
+      // run id maps to a stable id once the flush resolved the joiners).
+      if (inc_cfg.warm_start) {
+        proto::fold_run_estimates(warm_state, outcome.run,
+                                  outcome.run_to_stable, cfg.d);
+      }
+      acc_drift = 0.0;
+      n_last_estimated = static_cast<double>(n);
+      out.epochs.push_back(stats);
+      continue;
+    }
+
+    replay_between_runs(epoch);
 
     acc_drift +=
         static_cast<double>(epoch.joins + epoch.sybil_joins + epoch.leaves) /
         n_last_estimated;
 
     EpochStats stats;
-    const auto alive = overlay.alive_nodes();
-    const auto n = static_cast<NodeId>(alive.size());
-    stats.n_true = n;
-    stats.joins = epoch.joins + epoch.sybil_joins;
-    stats.leaves = epoch.leaves;
-    stats.drift = acc_drift;
-    for (const NodeId s : alive) {
-      if (byz[s]) ++stats.byz_alive;
-    }
-
-    // Staleness: judge the estimates honest survivors still carry from
-    // previous epochs against the CURRENT truth (before this epoch's run
-    // replaces them).
-    const double log_n = std::log2(static_cast<double>(n));
-    for (const NodeId s : alive) {
-      if (byz[s]) continue;
-      const std::uint32_t est = last_estimate[s];
-      if (est == 0) continue;
-      ++stats.stale_nodes;
-      const double ratio = static_cast<double>(est) / log_n;
-      if (ratio >= cfg.band_lo && ratio <= cfg.band_hi) ++stats.stale_in_band;
-    }
-    stats.stale_frac_in_band =
-        stats.stale_nodes == 0
-            ? 0.0
-            : static_cast<double>(stats.stale_in_band) /
-                  static_cast<double>(stats.stale_nodes);
+    const NodeId n = fill_membership_stats(stats);
 
     // Drift-adaptive scheduling: estimation runs when the accumulated
     // drift crosses the bound (epoch 0 always bootstraps the estimates).

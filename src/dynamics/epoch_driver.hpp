@@ -20,10 +20,23 @@
 //     placed on individual flood rounds — uniformly, or adversarially
 //     timed/targeted (adversary/midrun_schedule.hpp) — and strike DURING
 //     the run (dynamics/midrun.*), under a MembershipPolicy that decides
-//     how the in-flight run reacts. Mutually exclusive with the
-//     incremental tier (frozen snapshot per run); run_engine instead
-//     becomes the per-epoch E26 oracle: the message-level engine replays
-//     the identical schedule and must agree bitwise.
+//     how the in-flight run reacts. The IncrementalConfig tiers COMPOSE
+//     with it (the steady-state hot path): each epoch's run executes on
+//     IncrementalEngine::snapshot() — the mid-run and flushed splices flow
+//     through the overlay's SpliceObserver, so the next snapshot
+//     recomputes only the balls they dirtied — warm-starts its run-start
+//     Verifier from the stable-id row cache, may enter at the ε-warm
+//     phase, and skips drift-quiet epochs adaptively (those epochs apply
+//     their events between-runs style). run_engine doubles as the
+//     per-epoch E26 oracle: the message-level engine replays the identical
+//     schedule (composed inputs included, on its own WarmState copy) and
+//     must agree bitwise. verify_warm shadows each composed run with a
+//     cold mid-run replay on copies — exact-warm epochs must match
+//     decision-for-decision; ε-warm epochs must stay within the budget.
+//     The one genuinely unsupported combination: eps_warm + verify_warm +
+//     kFrontierLeaves (frontier victims depend on the observed wavefront,
+//     which an ε-entry run shifts, so the cold shadow floods a DIFFERENT
+//     overlay evolution and its divergence count is meaningless).
 //
 // Everything is derived from cfg.seed with SplitMix64 streams and replayed
 // sequentially, so a churn run is bitwise reproducible regardless of how
@@ -105,12 +118,17 @@ struct ChurnRunConfig {
   IncrementalConfig incremental;
   /// Mid-protocol churn (dynamics/midrun.*): apply each epoch's
   /// joins/leaves DURING its estimation run — spread over the run's
-  /// expected flood rounds — instead of between runs. Mutually exclusive
-  /// with the incremental tier (it assumes a frozen snapshot per run);
-  /// run_churn throws on the combination. run_engine IS supported here:
+  /// expected flood rounds — instead of between runs. The incremental
+  /// tier COMPOSES with it (see the file comment): dirty-ball snapshots
+  /// feed the run start, warm rows seed its Verifier, ε-warm picks its
+  /// entry phase, and adaptive cadence skips drift-quiet epochs (their
+  /// events then apply between-runs style). run_engine IS supported:
   /// each epoch the message-level sim::Engine replays the identical
-  /// schedule from a copy of the pre-run state and EpochStats.engine_match
-  /// records whether the two tiers agreed bitwise (the E26 oracle).
+  /// schedule from a copy of the pre-run state (composed inputs included)
+  /// and EpochStats.engine_match records whether the two tiers agreed
+  /// bitwise (the E26 oracle). The only rejected combination is eps_warm
+  /// + verify_warm + kFrontierLeaves — the ε cold shadow would flood a
+  /// different overlay evolution, voiding the divergence accounting.
   struct MidRunMode {
     bool enabled = false;
     proto::MembershipPolicy policy =
@@ -145,8 +163,12 @@ struct EpochStats {
   bool warm_used = false;         ///< warm path taken (vs cold fallback)
   std::uint64_t subphases_scheduled = 0;  ///< paper schedule for the run
   std::uint64_t subphases_executed = 0;   ///< after lazy short-circuiting
-  std::uint64_t verify_rows_reused = 0;     ///< verifier rows carried over
-  std::uint64_t verify_rows_recomputed = 0; ///< dirty-ball verifier rows
+  /// Verifier rows carried over from the stable-id cache. Mid-run mode:
+  /// run-start rows reused from WarmState (MidRunStats::warm_rows_reused).
+  std::uint64_t verify_rows_reused = 0;
+  /// Verifier rows computed fresh (dirty balls). Mid-run mode: fresh
+  /// run-start rows plus the live kReadmitNextPhase refresh rows.
+  std::uint64_t verify_rows_recomputed = 0;
   std::uint64_t messages_cold = 0;        ///< cold shadow run (verify_warm)
   // --- ε-warm tier ---
   bool eps_used = false;             ///< the epoch's run skipped phases

@@ -75,19 +75,34 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
                                  const MidRunConfig& config,
                                  proto::VerificationConfig verification,
                                  adv::ChurnAdversary adversary,
-                                 util::Xoshiro256& rng)
+                                 util::Xoshiro256& rng,
+                                 const MidRunComposed* composed)
     : overlay_(&overlay),
       stable_byz_(&stable_byz),
       schedule_(std::move(schedule)),
       config_(config),
       verification_(verification),
       adversary_(adversary),
-      rng_(&rng) {
+      rng_(&rng),
+      composed_(composed) {
   if (stable_byz.size() != overlay.id_bound()) {
     throw std::invalid_argument("LiveOverlayFeed: stable mask size mismatch");
   }
-  snapshot_.emplace(overlay.snapshot());
-  const auto& snap = *snapshot_;
+  // Run-start snapshot: the injected incremental one (bitwise identical to
+  // the full rebuild by IncrementalEngine's contract) or our own rebuild.
+  if (composed_ != nullptr && composed_->snapshot != nullptr) {
+    snap_ = composed_->snapshot;
+    if (snap_->overlay.num_nodes() != overlay.num_alive() ||
+        snap_->dense_to_stable.size() != overlay.num_alive()) {
+      throw std::invalid_argument(
+          "LiveOverlayFeed: composed snapshot does not match the overlay's "
+          "alive membership");
+    }
+  } else {
+    snapshot_.emplace(overlay.snapshot());
+    snap_ = &*snapshot_;
+  }
+  const auto& snap = *snap_;
   n0_ = snap.overlay.num_nodes();
   const std::uint32_t total_joins =
       schedule_.joins() + schedule_.sybil_joins();
@@ -128,15 +143,44 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
 
   // Run-start verifier state: exactly what the primary Verifier
   // constructor would compute on the snapshot (E24's parity rests on it).
+  // With a warm cache attached, rows still valid for clean-ball stable ids
+  // are carried over instead of recomputed — value-identical by the same
+  // k-ball-locality argument the warm tier rests on (warm_start.hpp), so
+  // the run itself is unchanged bit for bit.
   rows_.assign(static_cast<std::size_t>(nb_) * k_, 0);
   chains_.assign(nb_, 0);
   const std::vector<bool> dense_byz(run_byz_.begin(),
                                     run_byz_.begin() + n0_);
+  proto::WarmState* const warm =
+      composed_ != nullptr ? composed_->warm : nullptr;
+  const bool reuse_rows = warm != nullptr && composed_->warm_rows &&
+                          warm->has_run && warm->k == k_;
   for (NodeId v = 0; v < n0_; ++v) {
+    const NodeId s = run_to_stable_[v];
+    if (reuse_rows && s < warm->row_valid.size() && warm->row_valid[s] != 0) {
+      std::copy_n(warm->ball_counts.data() + static_cast<std::size_t>(s) * k_,
+                  k_, rows_.data() + static_cast<std::size_t>(v) * k_);
+      chains_[v] = warm->chain_len[s];
+      ++stats_.warm_rows_reused;
+      continue;
+    }
     proto::verifier_ball_row(snap.overlay, v,
                              rows_.data() + static_cast<std::size_t>(v) * k_);
     chains_[v] = proto::verifier_chain_len(snap.overlay, dense_byz, v,
                                            verification_.chain_model);
+    if (warm != nullptr) ++stats_.warm_rows_recomputed;
+  }
+  // Fold the run-start rows back into the cache NOW, before any mid-run
+  // splice mutates the topology: live rebuilds under kReadmitNextPhase
+  // recompute rows_ against the run-id view, which must never leak into
+  // the stable-id cache. (The run's estimates fold after the flush, by the
+  // caller — fold_run_estimates needs the completed run.)
+  if (warm != nullptr) {
+    proto::fold_verifier_rows(
+        *warm, k_, std::span<const NodeId>(run_to_stable_.data(), n0_),
+        std::span<const std::uint32_t>(rows_.data(),
+                                       static_cast<std::size_t>(n0_) * k_),
+        std::span<const std::uint8_t>(chains_.data(), n0_));
   }
   verifier_.emplace(snap.overlay, run_byz_, verification_, rows_, chains_);
 }
@@ -350,7 +394,7 @@ void LiveOverlayFeed::rebuild_verifier() {
     recompute_row(v);
     ++stats_.rows_recomputed;
   }
-  verifier_.emplace(snapshot_->overlay, run_byz_, verification_, rows_,
+  verifier_.emplace(snap_->overlay, run_byz_, verification_, rows_,
                     chains_);
   ++stats_.verifier_refreshes;
 }
@@ -402,17 +446,21 @@ MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
                               const ChurnSchedule& schedule,
                               const MidRunConfig& config,
                               adv::ChurnAdversary adversary,
-                              util::Xoshiro256& rng, bool use_engine) {
+                              util::Xoshiro256& rng, bool use_engine,
+                              const MidRunComposed* composed) {
   LiveOverlayFeed feed(overlay, stable_byz, schedule, config,
-                       cfg.verification, adversary, rng);
+                       cfg.verification, adversary, rng, composed);
+  const std::uint32_t start_phase =
+      composed != nullptr ? composed->start_phase : 1;
   MidRunOutcome out;
   if (use_engine) {
     sim::Engine engine(feed.snapshot_overlay(), feed.run_byz(), strategy, cfg,
-                       color_seed, &feed);
+                       color_seed, &feed, start_phase);
     out.run = engine.run();
   } else {
     proto::RunControls controls;
     controls.midrun = &feed;
+    controls.start_phase = start_phase;
     out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
                                        strategy, cfg, color_seed, controls);
   }
@@ -445,10 +493,11 @@ MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
                                   const ChurnSchedule& schedule,
                                   const MidRunConfig& config,
                                   adv::ChurnAdversary adversary,
-                                  util::Xoshiro256& rng) {
+                                  util::Xoshiro256& rng,
+                                  const MidRunComposed* composed) {
   return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
                          schedule, config, adversary, rng,
-                         /*use_engine=*/false);
+                         /*use_engine=*/false, composed);
 }
 
 MidRunOutcome run_counting_midrun_engine(MutableOverlay& overlay,
@@ -459,10 +508,11 @@ MidRunOutcome run_counting_midrun_engine(MutableOverlay& overlay,
                                          const ChurnSchedule& schedule,
                                          const MidRunConfig& config,
                                          adv::ChurnAdversary adversary,
-                                         util::Xoshiro256& rng) {
+                                         util::Xoshiro256& rng,
+                                         const MidRunComposed* composed) {
   return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
                          schedule, config, adversary, rng,
-                         /*use_engine=*/true);
+                         /*use_engine=*/true, composed);
 }
 
 MidRunTierComparison compare_midrun_tiers(const MutableOverlay& overlay,

@@ -45,6 +45,16 @@
 //        identical MidRunOutcome for every rate/policy/strategy — the two
 //        tiers cross-check each other's mid-run membership machinery, so
 //        fastpath-only behavior is no longer unverifiable.
+//   E28  the COMPOSED tier: mid-run churn is no longer exclusive with the
+//        incremental/warm machinery. MidRunComposed lets the epoch driver
+//        hand the feed an IncrementalEngine snapshot (bitwise identical to
+//        the cold rebuild by that engine's contract, so E24/E26 transfer
+//        unchanged), reuse cached verifier rows for clean-ball members,
+//        and enter the run at the ε-warm phase. The feed's own splices go
+//        through MutableOverlay::join_at/leave, which notify whatever
+//        SpliceObserver is attached — so the DirtyBallTracker sees every
+//        mid-run and flushed event and the NEXT epoch's snapshot
+//        recomputes only the balls this epoch dirtied.
 //
 // Adversarial schedules (adversary/midrun_schedule.hpp) reuse this replay
 // machinery unchanged: derive_adversarial_schedule shapes WHEN the same
@@ -65,6 +75,7 @@
 #include "dynamics/mutable_overlay.hpp"
 #include "protocols/fastpath.hpp"
 #include "protocols/midrun.hpp"
+#include "protocols/warm_start.hpp"
 
 namespace byz::dynamics {
 
@@ -108,8 +119,39 @@ struct MidRunStats {
   std::uint64_t verifier_refreshes = 0; ///< live Verifier rebuilds
   std::uint64_t rows_recomputed = 0;    ///< ball/chain rows recomputed live
   std::uint64_t frontier_leaves = 0;    ///< departures that hit the wavefront
+  // Composed tier (MidRunComposed::warm attached): run-start verifier rows
+  // carried from the stable-id cache vs computed fresh. Clean-ball reuse is
+  // value-identical, so these move no decision — they are pure accounting,
+  // but they participate in the E26/E28 bitwise oracle like every field.
+  std::uint64_t warm_rows_reused = 0;
+  std::uint64_t warm_rows_recomputed = 0;
 
   bool operator==(const MidRunStats&) const = default;
+};
+
+/// Composed-tier inputs the epoch driver threads into a mid-run run (all
+/// optional; the default value is the standalone PR-5 behavior). The
+/// members compose independently:
+///   * `snapshot` — a run-start snapshot to execute on INSTEAD of the
+///     feed's own MutableOverlay::snapshot() full rebuild. The driver
+///     passes IncrementalEngine::snapshot(), which is bitwise identical to
+///     the full rebuild by contract, so every mid-run anchor (E24/E26)
+///     transfers unchanged. Must describe the overlay's current alive
+///     membership and outlive the feed.
+///   * `warm` — the stable-id verifier-row cache (proto::WarmState). The
+///     feed folds this run's fresh run-start rows back into it; with
+///     `warm_rows` also set (the driver's drift check passed), rows still
+///     valid in the cache are REUSED for the run-start Verifier instead of
+///     recomputed. The driver must invalidate_dirty_rows() first — the
+///     feed trusts row_valid alone.
+///   * `start_phase` — ε-warm entry phase (1 = no skip): the run starts
+///     there with the schedule clock pre-advanced, so events scheduled in
+///     the skipped prefix burst-apply at entry (RunControls::start_phase).
+struct MidRunComposed {
+  const MutableOverlay::Snapshot* snapshot = nullptr;
+  proto::WarmState* warm = nullptr;
+  bool warm_rows = false;
+  std::uint32_t start_phase = 1;
 };
 
 /// MutableOverlay-backed implementation of proto::MidRunHooks (see file
@@ -119,10 +161,13 @@ struct MidRunStats {
 /// between-runs replay loop does.
 class LiveOverlayFeed final : public proto::MidRunHooks {
  public:
+  /// `composed` (optional, must outlive the feed) threads the incremental
+  /// snapshot and the warm verifier-row cache in — see MidRunComposed.
   LiveOverlayFeed(MutableOverlay& overlay, std::vector<bool>& stable_byz,
                   ChurnSchedule schedule, const MidRunConfig& config,
                   proto::VerificationConfig verification,
-                  adv::ChurnAdversary adversary, util::Xoshiro256& rng);
+                  adv::ChurnAdversary adversary, util::Xoshiro256& rng,
+                  const MidRunComposed* composed = nullptr);
 
   // proto::MidRunHooks
   [[nodiscard]] graph::NodeId node_bound() const override { return nb_; }
@@ -151,9 +196,10 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
   void flush_remaining();
 
   /// The run-start snapshot the protocol executes on (run ids < n0 are
-  /// its dense ids).
+  /// its dense ids) — the feed's own full rebuild, or the injected
+  /// incremental snapshot when MidRunComposed supplies one.
   [[nodiscard]] const graph::Overlay& snapshot_overlay() const noexcept {
-    return snapshot_->overlay;
+    return snap_->overlay;
   }
   /// Byzantine mask over the run-id space (snapshot members + scheduled
   /// joiners), fixed at construction. This is the mask the protocol run
@@ -184,6 +230,7 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
   proto::VerificationConfig verification_;
   adv::ChurnAdversary adversary_;
   util::Xoshiro256* rng_;
+  const MidRunComposed* composed_;
 
   MidRunStats stats_;
   graph::NodeId n0_ = 0;  ///< snapshot size (run ids < n0_ are members)
@@ -192,7 +239,8 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
   std::vector<MidRunEvent> deferred_;  ///< floor-guarded leaves
   graph::NodeId next_join_run_id_ = 0;
 
-  std::optional<MutableOverlay::Snapshot> snapshot_;
+  std::optional<MutableOverlay::Snapshot> snapshot_;  ///< owned rebuild
+  const MutableOverlay::Snapshot* snap_ = nullptr;    ///< the one in use
   std::vector<graph::NodeId> run_to_stable_;
   std::vector<graph::NodeId> stable_to_run_;  ///< by stable id; kInvalidNode
   std::vector<bool> run_byz_;
@@ -227,30 +275,33 @@ struct MidRunOutcome {
   bool operator==(const MidRunOutcome&) const = default;
 };
 
-/// Snapshots `overlay`, runs the counting protocol with `schedule` applied
-/// mid-run under `config.policy`, then flushes the schedule's tail so the
-/// overlay ends in the same state as the between-runs path. `stable_byz`
-/// grows with every join (sybil joiners marked Byzantine), `rng` advances
-/// exactly one draw per adversary decision — both identical to the
-/// between-runs replay, so a driver can alternate modes per epoch.
+/// Snapshots `overlay` (or adopts `composed->snapshot`), runs the counting
+/// protocol with `schedule` applied mid-run under `config.policy`, then
+/// flushes the schedule's tail so the overlay ends in the same state as
+/// the between-runs path. `stable_byz` grows with every join (sybil
+/// joiners marked Byzantine), `rng` advances exactly one draw per
+/// adversary decision — both identical to the between-runs replay, so a
+/// driver can alternate modes per epoch. `composed` (nullable) layers the
+/// incremental/warm/ε-warm tiers onto the run — see MidRunComposed.
 [[nodiscard]] MidRunOutcome run_counting_midrun(
     MutableOverlay& overlay, std::vector<bool>& stable_byz,
     adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
-    util::Xoshiro256& rng);
+    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr);
 
 /// The same run executed by the message-level sim::Engine instead of the
 /// array fast path — identical feed, identical rng/byz evolution, and (the
 /// E26 oracle) an identical MidRunOutcome bit for bit: the two tiers must
 /// agree under NONZERO mid-run churn, not just at the E24 empty-schedule
-/// anchor.
+/// anchor. Composed inputs thread through identically (the driver hands
+/// the engine tier its own WarmState copy so the fold side effects match).
 [[nodiscard]] MidRunOutcome run_counting_midrun_engine(
     MutableOverlay& overlay, std::vector<bool>& stable_byz,
     adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
-    util::Xoshiro256& rng);
+    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr);
 
 struct MidRunTierComparison {
   MidRunOutcome fastpath;

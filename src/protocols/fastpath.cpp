@@ -45,11 +45,11 @@ RunResult run_counting_with(const graph::Overlay& overlay,
   }
   MidRunHooks* const midrun = controls.midrun;
   if (midrun != nullptr &&
-      (controls.lazy_subphases || controls.verifier != nullptr ||
-       controls.start_phase > 1)) {
+      (controls.lazy_subphases || controls.verifier != nullptr)) {
     throw std::invalid_argument(
-        "run_counting: midrun hooks are incompatible with lazy_subphases, "
-        "an external verifier, and start_phase > 1");
+        "run_counting: midrun hooks are incompatible with lazy_subphases "
+        "(skipped subphases would shift the churn-schedule clock) and an "
+        "external verifier (begin_phase owns the verifier)");
   }
   // The run's id space: the snapshot's nodes plus, under mid-run churn,
   // every joiner the round schedule will ever admit (inert until then).
@@ -134,8 +134,14 @@ RunResult run_counting_with(const graph::Overlay& overlay,
   std::vector<std::uint8_t> region;
   std::vector<NodeId> region_frontier;
   std::vector<NodeId> region_next;
-  // Global flood-round counter driving the mid-run churn schedule.
-  std::uint64_t global_round = 0;
+  // Global flood-round counter driving the mid-run churn schedule. An
+  // ε-warm entry above phase 1 pre-advances it past the skipped prefix so
+  // the schedule's event→round mapping is preserved: events the run was
+  // not looking at burst-apply at the entry phase's first begin_round.
+  std::uint64_t global_round =
+      controls.start_phase > 1
+          ? rounds_through_phase(controls.start_phase - 1, d, cfg.schedule)
+          : 0;
 
   std::uint32_t phase = controls.start_phase - 1;
   while (phase < max_phase && active_count > 0) {

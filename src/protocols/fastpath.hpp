@@ -78,8 +78,14 @@ struct RunControls {
   /// id space by node_bound(), the flood kernel resolves neighbors live,
   /// and phase boundaries apply the MembershipPolicy (joiner admission +
   /// verifier refresh). byz_mask must then cover node_bound() ids.
-  /// Incompatible with lazy_subphases, verifier, and start_phase > 1;
-  /// run_counting_with throws on those combinations. Null = static run.
+  /// Incompatible with lazy_subphases (skipped subphases would shift the
+  /// churn-schedule clock, changing which round each event lands on) and
+  /// with an external verifier (begin_phase owns the verifier);
+  /// run_counting_with throws on those combinations. start_phase > 1 DOES
+  /// compose: the global round clock is pre-advanced past the skipped
+  /// prefix, so events scheduled there burst-apply at the entry phase's
+  /// first round — the ε-warm × mid-run composition the epoch driver
+  /// runs. Null = static run.
   MidRunHooks* midrun = nullptr;
 };
 

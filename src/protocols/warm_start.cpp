@@ -9,6 +9,141 @@ namespace byz::proto {
 
 using graph::NodeId;
 
+namespace {
+
+NodeId stable_bound(std::span<const NodeId> dense_to_stable) {
+  NodeId bound = 0;
+  for (const NodeId s : dense_to_stable) bound = std::max(bound, s);
+  return bound + 1;
+}
+
+}  // namespace
+
+void invalidate_dirty_rows(WarmState& state,
+                           std::span<const std::uint8_t> dirty_stable) {
+  const std::size_t end =
+      std::min(dirty_stable.size(), state.row_valid.size());
+  for (std::size_t s = 0; s < end; ++s) {
+    if (dirty_stable[s] != 0) state.row_valid[s] = 0;
+  }
+}
+
+void fold_verifier_rows(WarmState& state, std::uint32_t k,
+                        std::span<const NodeId> dense_to_stable,
+                        std::span<const std::uint32_t> rows,
+                        std::span<const std::uint8_t> chains) {
+  const std::size_t n = dense_to_stable.size();
+  if (rows.size() < n * k || chains.size() < n) {
+    throw std::invalid_argument("fold_verifier_rows: table size mismatch");
+  }
+  const NodeId bound = stable_bound(dense_to_stable);
+  if (state.chain_len.size() < bound) {
+    state.chain_len.resize(bound, 0);
+    state.row_valid.resize(bound, 0);
+  }
+  if (state.ball_counts.size() < static_cast<std::size_t>(bound) * k) {
+    state.ball_counts.resize(static_cast<std::size_t>(bound) * k, 0);
+  }
+  state.k = k;
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId s = dense_to_stable[v];
+    std::copy_n(rows.data() + v * k, k,
+                state.ball_counts.data() + static_cast<std::size_t>(s) * k);
+    state.chain_len[s] = chains[v];
+    state.row_valid[s] = 1;
+  }
+}
+
+RefineFold fold_run_estimates(WarmState& state, const RunResult& run,
+                              std::span<const NodeId> dense_to_stable,
+                              std::uint32_t d) {
+  RefineFold out;
+  const NodeId bound = stable_bound(dense_to_stable);
+  if (state.estimate.size() < bound) {
+    state.estimate.resize(bound, 0);
+    state.refined.resize(bound, 0.0);
+  }
+  for (std::size_t v = 0; v < dense_to_stable.size(); ++v) {
+    const NodeId s = dense_to_stable[v];
+    const std::uint32_t est =
+        run.status[v] == NodeStatus::kDecided ? run.estimate[v] : 0;
+    if (est == 0) {
+      state.estimate[s] = 0;
+      state.refined[s] = 0.0;
+      continue;
+    }
+    // The refined readout is a pure function of the decided phase: re-run
+    // the calibration only where the phase actually moved.
+    if (state.estimate[s] == est) {
+      ++out.reused;
+    } else {
+      state.refined[s] = refined_log_estimate(est, d);
+      ++out.recomputed;
+    }
+    state.estimate[s] = est;
+  }
+  state.has_run = true;
+  return out;
+}
+
+EpsEntryPlan choose_eps_entry(const WarmState& state,
+                              std::span<const NodeId> dense_to_stable,
+                              const std::vector<bool>& byz_mask,
+                              std::uint32_t max_phase, std::uint32_t d,
+                              const ScheduleConfig& schedule,
+                              const WarmConfig& warm_cfg, bool allow_skip) {
+  EpsEntryPlan plan;
+  const std::size_t n = dense_to_stable.size();
+  std::uint64_t honest = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!byz_mask[v]) ++honest;
+  }
+  plan.budget_nodes = static_cast<std::uint64_t>(
+      warm_cfg.eps_budget * static_cast<double>(honest));
+  if (!allow_skip) return plan;
+
+  // Entry is the QUANTILE of the seeded estimate distribution, not its
+  // minimum: a handful of poorly-connected nodes decide at phase 1-2 every
+  // epoch (see the file comment), so "skip to seed_min" would never skip
+  // anything. The tier pre-spends at most HALF the ε·n budget: entry is
+  // the deepest phase such that the predicted at-risk population — nodes
+  // seeded BELOW the entry, plus nodes with no seed at all (joiners,
+  // previously undecided) — fits in budget/2, minus eps_margin phases of
+  // safety for the epoch-to-epoch wobble of fresh colors. The other half
+  // of the budget absorbs the realized wobble and the upward cascade from
+  // skipped deciders still generating at the entry phase.
+  std::vector<std::uint64_t> seeded_at(max_phase + 2, 0);
+  std::uint64_t at_risk = 0;  // honest nodes with no usable seed
+  for (std::size_t v = 0; v < n; ++v) {
+    if (byz_mask[v]) continue;
+    const NodeId s = dense_to_stable[v];
+    const std::uint32_t est =
+        s < state.estimate.size() ? state.estimate[s] : 0;
+    if (est == 0) {
+      ++at_risk;
+    } else {
+      ++seeded_at[std::min(est, max_phase + 1)];
+    }
+  }
+  const std::uint64_t allowed = plan.budget_nodes / 2;
+  std::uint32_t entry = 1;
+  std::uint64_t below = at_risk;
+  for (std::uint32_t p = 2; p <= max_phase; ++p) {
+    below += seeded_at[p - 1];
+    if (below > allowed) break;
+    entry = p;
+  }
+  entry = entry > warm_cfg.eps_margin ? entry - warm_cfg.eps_margin : 1;
+  if (entry > 1) {
+    plan.eps_used = true;
+    plan.entry_phase = entry;
+    for (std::uint32_t i = 1; i < entry; ++i) {
+      plan.skipped_subphases += subphases_in_phase(i, d, schedule);
+    }
+  }
+  return plan;
+}
+
 WarmRun run_counting_warm(const graph::Overlay& overlay,
                           const std::vector<bool>& byz_mask,
                           adv::Strategy& strategy, const ProtocolConfig& cfg,
@@ -27,9 +162,6 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   }
 
   WarmRun out;
-  const auto is_dirty = [&](NodeId stable) {
-    return stable < dirty_stable.size() && dirty_stable[stable] != 0;
-  };
 
   // Cold-fallback decision: no state to seed from, a k-regime change, or
   // too much drift for the cached state to be worth carrying.
@@ -52,12 +184,14 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   // The Verifier is built HERE on both paths so its per-node rows can be
   // cached into `state` afterwards. Cold: every row fresh. Warm: cached
   // rows for clean nodes (ball counts and usable chains are k-ball-local,
-  // so a clean ball pins both), recomputed rows for dirty ones.
+  // so a clean ball pins both), recomputed rows for dirty ones. Dirty rows
+  // are dropped from the cache up front, so validity alone decides reuse.
+  invalidate_dirty_rows(state, dirty_stable);
   std::vector<std::uint32_t> rows(static_cast<std::size_t>(n) * k);
   std::vector<std::uint8_t> chains(n);
   for (NodeId v = 0; v < n; ++v) {
     const NodeId s = dense_to_stable[v];
-    const bool reuse = !cold && !is_dirty(s) && s < state.row_valid.size() &&
+    const bool reuse = !cold && s < state.row_valid.size() &&
                        state.row_valid[s] != 0;
     if (reuse) {
       std::copy_n(state.ball_counts.data() + static_cast<std::size_t>(s) * k,
@@ -72,6 +206,7 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
       ++out.rows_recomputed;
     }
   }
+  fold_verifier_rows(state, k, dense_to_stable, rows, chains);
   const Verifier verifier(overlay, byz_mask, cfg.verification, std::move(rows),
                           std::move(chains));
 
@@ -79,105 +214,29 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   RunControls controls;
   controls.lazy_subphases = !cold;
   controls.verifier = &verifier;
-  // ε-warm phase skip. The entry phase is the QUANTILE of the seeded
-  // estimate distribution, not its minimum: a handful of poorly-connected
-  // nodes decide at phase 1-2 every epoch (see the file comment), so
-  // "skip to seed_min" would never skip anything. Instead the tier
-  // pre-spends at most HALF the ε·n budget: entry is the deepest phase
-  // such that the predicted at-risk population — nodes seeded BELOW the
-  // entry, plus nodes with no seed at all (joiners, previously undecided)
-  // — fits in budget/2, minus eps_margin phases of safety for the
-  // epoch-to-epoch wobble of fresh colors. The other half of the budget
-  // absorbs the realized wobble and the upward cascade from skipped
-  // deciders still generating at the entry phase.
+  // ε-warm phase skip (choose_eps_entry has the entry rule; cold fallbacks
+  // and first-ever runs never skip but still report the budget).
   if (warm_cfg.eps_phase_skip) {
-    std::uint64_t honest = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!byz_mask[v]) ++honest;
-    }
-    out.eps_budget_nodes = static_cast<std::uint64_t>(
-        warm_cfg.eps_budget * static_cast<double>(honest));
-  }
-  if (!cold && warm_cfg.eps_phase_skip) {
-    const std::uint32_t max_phase = resolve_max_phase(overlay, cfg);
-    std::vector<std::uint64_t> seeded_at(max_phase + 2, 0);
-    std::uint64_t at_risk = 0;  // honest nodes with no usable seed
-    for (NodeId v = 0; v < n; ++v) {
-      if (byz_mask[v]) continue;
-      const NodeId s = dense_to_stable[v];
-      const std::uint32_t est =
-          s < state.estimate.size() ? state.estimate[s] : 0;
-      if (est == 0) {
-        ++at_risk;
-      } else {
-        ++seeded_at[std::min(est, max_phase + 1)];
-      }
-    }
-    const std::uint64_t allowed = out.eps_budget_nodes / 2;
-    std::uint32_t entry = 1;
-    std::uint64_t below = at_risk;
-    for (std::uint32_t p = 2; p <= max_phase; ++p) {
-      below += seeded_at[p - 1];
-      if (below > allowed) break;
-      entry = p;
-    }
-    entry = entry > warm_cfg.eps_margin ? entry - warm_cfg.eps_margin : 1;
-    if (entry > 1) {
+    const auto plan = choose_eps_entry(
+        state, dense_to_stable, byz_mask, resolve_max_phase(overlay, cfg),
+        overlay.params().d, cfg.schedule, warm_cfg, /*allow_skip=*/!cold);
+    out.eps_budget_nodes = plan.budget_nodes;
+    if (plan.eps_used) {
       out.eps_used = true;
-      out.eps_entry_phase = entry;
-      controls.start_phase = entry;
-      const std::uint32_t d_sched = overlay.params().d;
-      for (std::uint32_t i = 1; i < entry; ++i) {
-        out.eps_skipped_subphases +=
-            subphases_in_phase(i, d_sched, cfg.schedule);
-      }
+      out.eps_entry_phase = plan.entry_phase;
+      out.eps_skipped_subphases = plan.skipped_subphases;
+      controls.start_phase = plan.entry_phase;
     }
   }
   out.run = run_counting_with(overlay, byz_mask, strategy, cfg, color_seed,
                               controls);
 
-  // Fold this run back into the stable-indexed state for the next epoch.
-  NodeId bound = 0;
-  for (const NodeId s : dense_to_stable) bound = std::max(bound, s);
-  ++bound;
-  if (state.estimate.size() < bound) {
-    state.estimate.resize(bound, 0);
-    state.refined.resize(bound, 0.0);
-    state.chain_len.resize(bound, 0);
-    state.row_valid.resize(bound, 0);
-  }
-  state.k = k;
-  if (state.ball_counts.size() < static_cast<std::size_t>(bound) * k) {
-    state.ball_counts.resize(static_cast<std::size_t>(bound) * k, 0);
-  }
-  const std::uint32_t d = overlay.params().d;
-  for (NodeId v = 0; v < n; ++v) {
-    const NodeId s = dense_to_stable[v];
-    const auto row = verifier.ball_row(v);
-    std::copy(row.begin(), row.end(),
-              state.ball_counts.data() + static_cast<std::size_t>(s) * k);
-    state.chain_len[s] = static_cast<std::uint8_t>(verifier.usable_chain(v));
-    state.row_valid[s] = 1;
-
-    const std::uint32_t est = out.run.status[v] == NodeStatus::kDecided
-                                  ? out.run.estimate[v]
-                                  : 0;
-    if (est == 0) {
-      state.estimate[s] = 0;
-      state.refined[s] = 0.0;
-      continue;
-    }
-    // The refined readout is a pure function of the decided phase: re-run
-    // the calibration only where the phase actually moved.
-    if (state.estimate[s] == est) {
-      ++out.refine_reused;
-    } else {
-      state.refined[s] = refined_log_estimate(est, d);
-      ++out.refine_recomputed;
-    }
-    state.estimate[s] = est;
-  }
-  state.has_run = true;
+  // Fold this run back into the stable-indexed state for the next epoch
+  // (the verifier rows were folded above, before the tables moved).
+  const auto fold =
+      fold_run_estimates(state, out.run, dense_to_stable, overlay.params().d);
+  out.refine_reused = fold.reused;
+  out.refine_recomputed = fold.recomputed;
   return out;
 }
 

@@ -137,4 +137,58 @@ struct WarmRun {
     std::span<const std::uint8_t> dirty_stable, double drift,
     const WarmConfig& warm_cfg, WarmState& state);
 
+// --- Shared warm-state plumbing ---------------------------------------
+//
+// The helpers below are the reusable pieces of run_counting_warm, split
+// out so the mid-run churn tier (dynamics/midrun.*) can warm-start its
+// runs from the same stable-indexed cache: the epoch driver invalidates
+// the rows the previous epoch's splices dirtied, LiveOverlayFeed reuses
+// the surviving rows for its run-start Verifier and folds the refreshed
+// rows back, and the driver folds the run's estimates after the flush.
+
+/// Drops the cached verifier rows of every dirty stable id (ids past the
+/// mask's end are clean). After this, `row_valid[s]` alone decides reuse —
+/// callers need not re-check the dirty mask.
+void invalidate_dirty_rows(WarmState& state,
+                           std::span<const std::uint8_t> dirty_stable);
+
+/// Folds freshly computed verifier rows into the cache: `rows` is the
+/// n*k row-major cumulative ball-count table and `chains` the usable-chain
+/// lengths, both indexed by the dense ids `dense_to_stable` maps. Grows the
+/// stable-indexed tables as needed and stamps `state.k`.
+void fold_verifier_rows(WarmState& state, std::uint32_t k,
+                        std::span<const graph::NodeId> dense_to_stable,
+                        std::span<const std::uint32_t> rows,
+                        std::span<const std::uint8_t> chains);
+
+/// Folds a finished run's decisions into the estimate/refined caches
+/// (kDecided nodes keep their phase, everyone else seeds 0) and marks the
+/// state runnable. The refined readout is a pure function of the decided
+/// phase, so it is recomputed only where the phase moved; the returned
+/// counts feed the reuse accounting.
+struct RefineFold {
+  std::uint64_t reused = 0;
+  std::uint64_t recomputed = 0;
+};
+RefineFold fold_run_estimates(WarmState& state, const RunResult& run,
+                              std::span<const graph::NodeId> dense_to_stable,
+                              std::uint32_t d);
+
+/// The ε-warm entry rule (see file comment): budget = floor(eps_budget ·
+/// honest), and — when `allow_skip` (a warm, non-cold run) — the entry
+/// phase is the deepest one whose predicted at-risk population (honest
+/// nodes seeded below it, plus nodes with no seed) pre-spends at most half
+/// the budget, minus eps_margin phases of safety.
+struct EpsEntryPlan {
+  bool eps_used = false;  ///< entry > 1 was chosen
+  std::uint32_t entry_phase = 1;
+  std::uint64_t budget_nodes = 0;  ///< floor(eps_budget * honest)
+  std::uint64_t skipped_subphases = 0;
+};
+[[nodiscard]] EpsEntryPlan choose_eps_entry(
+    const WarmState& state, std::span<const graph::NodeId> dense_to_stable,
+    const std::vector<bool>& byz_mask, std::uint32_t max_phase,
+    std::uint32_t d, const ScheduleConfig& schedule,
+    const WarmConfig& warm_cfg, bool allow_skip);
+
 }  // namespace byz::proto

@@ -67,10 +67,14 @@ class Engine {
   /// supplies the live topology and `byz_mask` must cover the full
   /// node_bound() id space (snapshot members + scheduled joiners), exactly
   /// as for proto::run_counting_with. Null hooks = the static reference
-  /// path, unchanged.
+  /// path, unchanged. `start_phase` mirrors RunControls::start_phase (the
+  /// ε-warm entry): the phase loop begins there and the global round clock
+  /// is pre-advanced past the skipped prefix, keeping the churn schedule's
+  /// event→round mapping bitwise aligned with the fast path.
   Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
          adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
-         std::uint64_t color_seed, proto::MidRunHooks* midrun = nullptr);
+         std::uint64_t color_seed, proto::MidRunHooks* midrun = nullptr,
+         std::uint32_t start_phase = 1);
 
   /// Executes setup + phases until all honest nodes decided/crashed or the
   /// phase cap is reached.
@@ -118,6 +122,7 @@ class Engine {
   proto::ProtocolConfig cfg_;
   std::uint64_t color_seed_;
   proto::MidRunHooks* midrun_;
+  std::uint32_t start_phase_;
   graph::NodeId nb_;  ///< run id space: overlay n, or midrun node_bound()
   World world_;
   /// Static path: built once in the constructor. Mid-run path: handed out

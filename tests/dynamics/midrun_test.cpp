@@ -134,19 +134,225 @@ TEST(MidRunChurnModeTest, ReplaysTraceAndReportsMidRunStats) {
   }
 }
 
-TEST(MidRunChurnModeTest, RejectsIncompatibleTiers) {
+TEST(MidRunChurnModeTest, RejectsOnlyTheGenuinelyUnsupportedCombo) {
+  // The incremental/warm/adaptive tiers now COMPOSE with mid-run churn;
+  // the single rejected combination is the ε cold shadow under
+  // frontier-directed leaves (the shadow would flood a different overlay
+  // evolution, voiding the divergence accounting).
   dynamics::ChurnRunConfig cfg;
-  cfg.trace.n0 = 64;
+  cfg.trace.n0 = 96;
   cfg.trace.epochs = 1;
+  cfg.trace.seed = 5;
+  cfg.seed = 5;
+  cfg.d = 6;
   cfg.mid_run.enabled = true;
   cfg.incremental.incremental = true;
-  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
-  cfg.incremental.incremental = false;
   cfg.incremental.warm_start = true;
-  EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
-  cfg.incremental.warm_start = false;
   cfg.incremental.adaptive = true;
+  EXPECT_NO_THROW((void)dynamics::run_churn(cfg));
+
+  cfg.incremental.eps_warm = true;
+  cfg.incremental.verify_warm = true;
+  cfg.mid_run.schedule = adv::MidRunScheduleStrategy::kFrontierLeaves;
   EXPECT_THROW((void)dynamics::run_churn(cfg), std::invalid_argument);
+  // Either half of the conflict alone is fine.
+  cfg.mid_run.schedule = adv::MidRunScheduleStrategy::kUniform;
+  EXPECT_NO_THROW((void)dynamics::run_churn(cfg));
+  cfg.mid_run.schedule = adv::MidRunScheduleStrategy::kFrontierLeaves;
+  cfg.incremental.verify_warm = false;
+  EXPECT_NO_THROW((void)dynamics::run_churn(cfg));
+}
+
+TEST(ComposedMidRunTest, IncrementalSnapshotFeedsTheMidRunPath) {
+  // With the incremental tier on, each mid-run epoch executes on
+  // IncrementalEngine::snapshot(): after epoch 0's full bootstrap, only
+  // the balls dirtied by the previous epoch's splices are recomputed.
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 512;
+  cfg.trace.epochs = 4;
+  cfg.trace.arrival_rate = 2.0;
+  cfg.trace.departure_rate = 2.0;
+  cfg.trace.min_n = 256;
+  cfg.trace.seed = 7;
+  cfg.d = 6;
+  cfg.seed = 7;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.verify_snapshots = true;  // bitwise oracle on every call
+
+  const auto result = dynamics::run_churn(cfg);
+  ASSERT_EQ(result.epochs.size(), cfg.trace.epochs);
+  EXPECT_EQ(result.epochs[0].balls_recomputed, 512u);
+  for (std::uint32_t e = 1; e < result.epochs.size(); ++e) {
+    const auto& ep = result.epochs[e];
+    // The run-start snapshot covers the members alive BEFORE this epoch's
+    // churn — the previous epoch's n_after.
+    EXPECT_EQ(ep.balls_recomputed + ep.balls_reused,
+              static_cast<std::uint64_t>(result.epochs[e - 1].n_true));
+    EXPECT_GT(ep.balls_reused, 0u) << "epoch " << e;
+    EXPECT_LT(ep.balls_recomputed, static_cast<std::uint64_t>(ep.n_true))
+        << "epoch " << e;
+  }
+}
+
+TEST(ComposedMidRunTest, ComposedOutcomeMatchesStandaloneMidRun) {
+  // Snapshot injection alone must not move a single bit of the per-epoch
+  // results: the incremental snapshot is identical to the full rebuild by
+  // contract, so the composed run IS the standalone run.
+  dynamics::ChurnRunConfig base;
+  base.trace.n0 = 256;
+  base.trace.epochs = 4;
+  base.trace.arrival_rate = 4.0;
+  base.trace.departure_rate = 4.0;
+  base.trace.min_n = 128;
+  base.trace.seed = 9;
+  base.d = 6;
+  base.seed = 9;
+  base.mid_run.enabled = true;
+
+  auto composed_cfg = base;
+  composed_cfg.incremental.incremental = true;
+  const auto plain = dynamics::run_churn(base);
+  const auto composed = dynamics::run_churn(composed_cfg);
+  ASSERT_EQ(plain.epochs.size(), composed.epochs.size());
+  for (std::size_t e = 0; e < plain.epochs.size(); ++e) {
+    const auto& a = plain.epochs[e];
+    const auto& b = composed.epochs[e];
+    EXPECT_EQ(a.n_true, b.n_true);
+    EXPECT_EQ(a.fresh.decided, b.fresh.decided);
+    EXPECT_EQ(a.fresh.in_band, b.fresh.in_band);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.midrun_events_applied, b.midrun_events_applied);
+    EXPECT_EQ(a.midrun_events_flushed, b.midrun_events_flushed);
+    EXPECT_EQ(a.stale_in_band, b.stale_in_band);
+  }
+}
+
+TEST(ComposedMidRunTest, WarmRowsReuseUnderMidRunChurn) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 512;
+  cfg.trace.epochs = 4;
+  cfg.trace.arrival_rate = 2.0;
+  cfg.trace.departure_rate = 2.0;
+  cfg.trace.min_n = 256;
+  cfg.trace.seed = 15;
+  cfg.d = 6;
+  cfg.seed = 15;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;  // throws if warm moved any decision
+  cfg.incremental.warm.max_drift = 0.5;
+
+  const auto result = dynamics::run_churn(cfg);
+  ASSERT_EQ(result.epochs.size(), cfg.trace.epochs);
+  EXPECT_FALSE(result.epochs[0].warm_used);  // no cache yet
+  bool any_warm = false;
+  for (std::uint32_t e = 1; e < result.epochs.size(); ++e) {
+    const auto& ep = result.epochs[e];
+    if (!ep.warm_used) continue;
+    any_warm = true;
+    EXPECT_GT(ep.verify_rows_reused, 0u) << "epoch " << e;
+    EXPECT_GT(ep.messages_cold, 0u) << "epoch " << e;
+  }
+  EXPECT_TRUE(any_warm) << "warm rows never reused across the trace";
+}
+
+TEST(ComposedMidRunTest, EngineOracleHoldsWithAllTiersOn) {
+  // The full composition — incremental snapshot + warm rows + verify
+  // shadow + engine oracle — must keep the two protocol tiers bitwise
+  // identical per epoch (the E26 contract extended to the composed tier).
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 256;
+  cfg.trace.epochs = 3;
+  cfg.trace.arrival_rate = 4.0;
+  cfg.trace.departure_rate = 4.0;
+  cfg.trace.min_n = 128;
+  cfg.trace.seed = 21;
+  cfg.d = 6;
+  cfg.seed = 21;
+  cfg.run_engine = true;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.verify_snapshots = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;
+  cfg.incremental.warm.max_drift = 0.5;
+
+  const auto result = dynamics::run_churn(cfg);
+  for (const auto& ep : result.epochs) {
+    EXPECT_TRUE(ep.engine_match)
+        << "engine diverged from fastpath with the composed tiers on";
+  }
+}
+
+TEST(ComposedMidRunTest, AdaptiveCadenceSkipsQuietEpochsMidRun) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 512;
+  cfg.trace.epochs = 6;
+  cfg.trace.arrival_rate = 1.0;
+  cfg.trace.departure_rate = 1.0;
+  cfg.trace.min_n = 256;
+  cfg.trace.seed = 27;
+  cfg.d = 6;
+  cfg.seed = 27;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.verify_snapshots = true;
+  cfg.incremental.adaptive = true;
+  cfg.incremental.drift_threshold = 0.05;  // ~0.4% churn/epoch: mostly skip
+
+  const auto result = dynamics::run_churn(cfg);
+  std::uint32_t estimated = 0;
+  std::uint32_t skipped = 0;
+  for (std::uint32_t e = 0; e < result.epochs.size(); ++e) {
+    const auto& ep = result.epochs[e];
+    EXPECT_EQ(ep.n_true, result.trace.epochs[e].n_after)
+        << "membership must follow the trace on skipped epochs too";
+    if (ep.estimated) {
+      ++estimated;
+      EXPECT_GT(ep.messages, 0u);
+    } else {
+      ++skipped;
+      EXPECT_EQ(ep.messages, 0u);
+      EXPECT_EQ(ep.midrun_events_applied + ep.midrun_events_flushed, 0u)
+          << "skipped epochs apply events between runs";
+    }
+  }
+  EXPECT_GE(estimated, 1u);  // epoch 0 always bootstraps
+  EXPECT_GT(skipped, 0u) << "adaptive cadence never skipped";
+}
+
+TEST(ComposedMidRunTest, EpsWarmEntersMidRunWithinBudget) {
+  dynamics::ChurnRunConfig cfg;
+  cfg.trace.n0 = 1024;
+  cfg.trace.epochs = 5;
+  cfg.trace.arrival_rate = 4.0;
+  cfg.trace.departure_rate = 4.0;
+  cfg.trace.min_n = 512;
+  cfg.trace.seed = 33;
+  cfg.d = 6;
+  cfg.seed = 33;
+  cfg.mid_run.enabled = true;
+  cfg.incremental.incremental = true;
+  cfg.incremental.warm_start = true;
+  cfg.incremental.verify_warm = true;  // counts divergences, enforces budget
+  cfg.incremental.eps_warm = true;
+  cfg.incremental.eps_budget = 0.10;
+  cfg.incremental.eps_margin = 0;
+  cfg.incremental.warm.max_drift = 0.5;
+
+  // run_churn throws if any epoch's divergence exceeds floor(ε·honest).
+  const auto result = dynamics::run_churn(cfg);
+  bool any_eps = false;
+  for (const auto& ep : result.epochs) {
+    if (!ep.eps_used) continue;
+    any_eps = true;
+    EXPECT_GT(ep.eps_entry_phase, 1u);
+    EXPECT_GT(ep.eps_budget_nodes, 0u);
+    EXPECT_LE(ep.eps_divergent, ep.eps_budget_nodes);
+  }
+  EXPECT_TRUE(any_eps) << "ε-warm entry never engaged under mid-run churn";
 }
 
 TEST(MidRunChurnModeTest, EngineOracleMatchesFastpathPerEpoch) {
