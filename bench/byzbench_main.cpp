@@ -24,6 +24,13 @@ int main(int argc, char** argv) {
   args.add_option("jobs", "scheduler worker threads (0 = hardware)", "0");
   args.add_option("json-out", "directory for BENCH_<exp>.json (empty = off)",
                   "");
+  args.add_option("trace-out",
+                  "Chrome trace-event JSON file (Perfetto/chrome://tracing; "
+                  "empty = tracing off)",
+                  "");
+  args.add_option("metrics-out",
+                  "metrics registry dump, byzobs/metrics/v1 JSON (empty = off)",
+                  "");
   auto& registry = bench_core::Registry::instance();
   bench_core::RunOptions opts;
   try {
@@ -36,6 +43,8 @@ int main(int argc, char** argv) {
     opts.scale = args.real("scale");
     opts.jobs = static_cast<unsigned>(args.integer("jobs"));
     opts.json_out = args.str("json-out");
+    opts.trace_out = args.str("trace-out");
+    opts.metrics_out = args.str("metrics-out");
   } catch (const std::exception& e) {
     std::cerr << "byzbench: " << e.what() << "\n\n" << args.help();
     return 2;

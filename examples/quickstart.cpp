@@ -7,7 +7,6 @@
 // Byzantine nodes, pick an adversary, run Algorithm 2, and summarize how
 // many honest nodes obtained a constant-factor estimate of log2(n).
 #include <cmath>
-#include <cstdio>
 #include <iostream>
 
 #include "byzcount.hpp"
@@ -34,10 +33,9 @@ int main(int argc, char** argv) {
   params.d = d;
   params.seed = seed;
   const auto overlay = graph::Overlay::build(params);
-  std::printf("overlay: n=%u d=%u k=%u |E(H)|=%llu |E(G)|=%llu\n", n, d,
-              overlay.k(),
-              static_cast<unsigned long long>(overlay.h().num_edges()),
-              static_cast<unsigned long long>(overlay.g().num_edges()));
+  BYZ_INFO << "overlay: n=" << n << " d=" << d << " k=" << overlay.k()
+           << " |E(H)|=" << overlay.h().num_edges()
+           << " |E(G)|=" << overlay.g().num_edges();
 
   // 2. Place B = n^(1-delta) Byzantine nodes uniformly at random (the
   //    paper's placement model) and arm them with the fake-color attack.
@@ -45,8 +43,9 @@ int main(int argc, char** argv) {
   const auto byz_count = sim::derive_byz_count(n, delta);
   const auto byz = graph::random_byzantine_mask(n, byz_count, placement);
   const auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
-  std::printf("byzantine: %u nodes (delta=%.2f), strategy=%s\n", byz_count,
-              delta, std::string(strategy->name()).c_str());
+  BYZ_INFO << "byzantine: " << byz_count << " nodes (delta="
+           << util::format_double(delta, 2)
+           << "), strategy=" << strategy->name();
 
   // 3. Run Algorithm 2.
   proto::ProtocolConfig cfg;  // defaults: eps=0.1, verification+crash rule on

@@ -90,6 +90,15 @@ byz::proto::MembershipPolicy parse_policy(const std::string& name) {
                               " (try silent, readmit)");
 }
 
+/// --trace-out plumbing: dump the Chrome trace collected so far (no-op
+/// when the flag was not given).
+void write_trace_if_requested(const std::string& path) {
+  if (path.empty()) return;
+  if (!byz::obs::write_chrome_trace(path)) {
+    BYZ_ERROR << "size_service: cannot write trace file " << path;
+  }
+}
+
 byz::adv::MidRunScheduleStrategy parse_schedule(const std::string& name) {
   for (const auto s : byz::adv::all_midrun_schedule_strategies()) {
     if (name == byz::adv::to_string(s)) return s;
@@ -136,16 +145,16 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   cfg.mid_run.schedule = parse_schedule(args.str("schedule"));
   cfg.run_engine = engine_oracle;
   if (eps_warm && !incremental) {
-    std::cerr << "size_service: --eps-warm needs the warm tier "
-                 "(pass --incremental)\n";
+    BYZ_ERROR << "size_service: --eps-warm needs the warm tier "
+                 "(pass --incremental)";
     return 2;
   }
   if (engine_oracle && incremental && !mid_run) {
-    std::cerr << "size_service: in snapshot-churn mode --engine-oracle "
+    BYZ_ERROR << "size_service: in snapshot-churn mode --engine-oracle "
                  "compares against the cold message-level engine and cannot "
                  "be combined with --incremental (with --mid-run-churn the "
                  "oracle runs with its own copy of the warm state, so the "
-                 "composed combination is fine)\n";
+                 "composed combination is fine)";
     return 2;
   }
 
@@ -348,6 +357,10 @@ int main(int argc, char** argv) {
                                  "report bitwise agreement (works with "
                                  "--mid-run-churn, composed or not; not "
                                  "with snapshot-mode --incremental)");
+  args.add_option("trace-out",
+                  "Chrome trace-event JSON file (Perfetto/chrome://tracing; "
+                  "empty = tracing off)",
+                  "");
 
   graph::NodeId n;
   std::uint32_t d;
@@ -355,9 +368,18 @@ int main(int argc, char** argv) {
   std::uint64_t seed;
   std::uint32_t trials;
   unsigned jobs;
+  std::string trace_out;
   try {
     if (!args.parse(argc, argv)) return 0;
-    if (args.flag("churn")) return run_churn_mode(args);
+    trace_out = args.str("trace-out");
+    // Observability is opt-in and pure read-side (src/obs/obs.hpp):
+    // estimates and tables are identical with or without tracing.
+    if (!trace_out.empty()) obs::set_enabled(true);
+    if (args.flag("churn")) {
+      const int rc = run_churn_mode(args);
+      write_trace_if_requested(trace_out);
+      return rc;
+    }
     n = static_cast<graph::NodeId>(args.integer("n"));
     d = static_cast<std::uint32_t>(args.integer("d"));
     delta = args.real("delta");
@@ -365,7 +387,8 @@ int main(int argc, char** argv) {
     trials = static_cast<std::uint32_t>(args.integer("trials"));
     jobs = static_cast<unsigned>(args.integer("jobs"));
   } catch (const std::exception& e) {
-    std::cerr << "size_service: " << e.what() << "\n\n" << args.help();
+    BYZ_ERROR << "size_service: " << e.what();
+    std::cerr << '\n' << args.help();
     return 2;
   }
   const double truth = std::log2(static_cast<double>(n));
@@ -449,5 +472,6 @@ int main(int argc, char** argv) {
              "Means are over " + std::to_string(trials) +
              " seed-split deployments run on the shared trial scheduler.");
   std::cout << table;
+  write_trace_if_requested(trace_out);
   return 0;
 }

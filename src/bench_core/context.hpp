@@ -29,6 +29,11 @@ struct RunOptions {
   std::string json_out;      ///< directory for BENCH_<exp>.json; empty = off
   bool list_only = false;
   bool quiet = false;        ///< suppress table stdout (tests)
+  /// Chrome trace-event JSON file (src/obs/trace.hpp); empty = tracing
+  /// off. Setting it flips the obs runtime switch for the whole run.
+  std::string trace_out;
+  /// byzobs/metrics/v1 JSON file (src/obs/metrics.hpp); empty = off.
+  std::string metrics_out;
 };
 
 class RunContext {

@@ -5,6 +5,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -33,12 +36,39 @@ std::string join(const std::vector<std::string>& parts) {
   return os.str();
 }
 
+/// A metrics-registry snapshot (typically a per-scenario delta) as JSON
+/// for the RUNMETA sidecar. Histograms are summarized to count/sum —
+/// the full bucket vectors live in the --metrics-out file.
+Json metrics_summary_json(const obs::MetricsSnapshot& snap) {
+  Json counters = Json::object();
+  for (const auto& [name, value] : snap.counters) counters[name] = value;
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+  Json histograms = Json::object();
+  for (const auto& h : snap.histograms) {
+    Json entry = Json::object();
+    entry["count"] = h.count;
+    entry["sum"] = h.sum;
+    histograms[h.name] = std::move(entry);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
 }  // namespace
 
 std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
                                            const RunOptions& opts) {
   const auto selected = registry.match(opts.filter);
   const TrialScheduler scheduler(opts.jobs);
+  // Observability is opt-in per run: asking for either output file flips
+  // the runtime switch. It is pure read-side (src/obs/obs.hpp), so the
+  // BENCH manifests below are bitwise identical either way (CI-guarded).
+  const bool observe = !opts.trace_out.empty() || !opts.metrics_out.empty();
+  if (observe) obs::set_enabled(true);
   // Shared across scenarios so common (n, d, seed) grids build once, but
   // bounded: a full run otherwise pins every overlay until process exit.
   OverlayCache cache(kCacheBytes);
@@ -55,14 +85,20 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
     outcome.id = spec->id;
     RunContext ctx(*spec, opts, cache, scheduler);
     const auto cache_before = cache.stats();
+    const auto metrics_before =
+        observe ? obs::metrics_snapshot() : obs::MetricsSnapshot{};
     util::Timer timer;
-    try {
-      spec->run(ctx);
-      outcome.ok = true;
-    } catch (const std::exception& e) {
-      outcome.error = e.what();
-    } catch (...) {
-      outcome.error = "unknown error";
+    {
+      obs::Span scenario_span("bench.scenario");
+      scenario_span.arg("id", spec->id.c_str());
+      try {
+        spec->run(ctx);
+        outcome.ok = true;
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.error = "unknown error";
+      }
     }
     outcome.wall_seconds = timer.seconds();
 
@@ -92,6 +128,14 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
       meta["ok"] = outcome.ok;
       if (!outcome.ok) meta["error"] = outcome.error;
       meta["overlay_cache"] = std::move(cache_json);
+      if (observe) {
+        // Metrics summary for this scenario (counter deltas against the
+        // run-so-far). RUNMETA is the right home: the numbers are volatile
+        // (timings, worker interleavings) and must NEVER leak into the
+        // bitwise-deterministic BENCH manifest above.
+        meta["observability"] = metrics_summary_json(
+            obs::metrics_delta(metrics_before, obs::metrics_snapshot()));
+      }
 
       outcome.json_path = opts.json_out + "/BENCH_" + spec->id + ".json";
       const std::string meta_path =
@@ -113,6 +157,13 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
       }
     }
     outcomes.push_back(std::move(outcome));
+  }
+
+  if (!opts.trace_out.empty() && !obs::write_chrome_trace(opts.trace_out)) {
+    BYZ_ERROR << "byzbench: cannot write trace file " << opts.trace_out;
+  }
+  if (!opts.metrics_out.empty() && !obs::write_metrics_file(opts.metrics_out)) {
+    BYZ_ERROR << "byzbench: cannot write metrics file " << opts.metrics_out;
   }
   return outcomes;
 }

@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace byz::bench_core {
+
+namespace {
+
+// Observability (pure read-side; inert unless obs::set_enabled): one span
+// per trial, tagged with the worker that stole it so the work-stealing
+// schedule is visible in the exported trace.
+void run_traced_trial(const std::function<void(std::uint64_t)>& fn,
+                      std::uint64_t index, unsigned worker) {
+  static const obs::Counter obs_trials("scheduler.trials");
+  static const obs::Histogram obs_trial_us("scheduler.trial_us");
+  const std::uint64_t start_us = obs::trace_now_us();
+  {
+    obs::Span span("bench.trial");
+    span.arg("trial", index).arg("worker", worker);
+    fn(index);
+  }
+  obs_trials.add(1);
+  obs_trial_us.observe(obs::trace_now_us() - start_us);
+}
+
+}  // namespace
 
 TrialScheduler::TrialScheduler(unsigned jobs) : jobs_(jobs) {
   if (jobs_ == 0) {
@@ -17,7 +41,7 @@ void TrialScheduler::for_each(
   const unsigned workers =
       static_cast<unsigned>(std::min<std::uint64_t>(jobs_, count));
   if (workers <= 1) {
-    for (std::uint64_t i = 0; i < count; ++i) fn(i);
+    for (std::uint64_t i = 0; i < count; ++i) run_traced_trial(fn, i, 0);
     return;
   }
 
@@ -25,12 +49,17 @@ void TrialScheduler::for_each(
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
-  auto worker = [&] {
+  auto worker = [&](unsigned w) {
+    // Pool threads get a stable trace name; w == 0 is the caller thread,
+    // which keeps its own identity (scenario spans live there).
+    if (w != 0 && obs::enabled()) {
+      obs::set_trace_thread_name("worker-" + std::to_string(w));
+    }
     for (;;) {
       const std::uint64_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
       try {
-        fn(i);
+        run_traced_trial(fn, i, w);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -43,8 +72,10 @@ void TrialScheduler::for_each(
 
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(worker);
-  worker();
+  for (unsigned w = 1; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  worker(0);
   for (auto& t : pool) t.join();
 
   if (first_error) std::rethrow_exception(first_error);

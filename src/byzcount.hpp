@@ -45,6 +45,9 @@
 #include "graph/tree_like.hpp"           // IWYU pragma: export
 #include "incremental/dirty_ball.hpp"    // IWYU pragma: export
 #include "incremental/engine.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"               // IWYU pragma: export
+#include "obs/obs.hpp"                   // IWYU pragma: export
+#include "obs/trace.hpp"                 // IWYU pragma: export
 #include "protocols/color.hpp"           // IWYU pragma: export
 #include "protocols/estimate.hpp"        // IWYU pragma: export
 #include "protocols/fastpath.hpp"        // IWYU pragma: export

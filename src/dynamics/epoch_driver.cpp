@@ -8,6 +8,7 @@
 
 #include "graph/categories.hpp"
 #include "incremental/engine.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/runner.hpp"
 
@@ -131,6 +132,22 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
   for (std::uint32_t e = 0; e < out.trace.epochs.size(); ++e) {
     const ChurnEpoch& epoch = out.trace.epochs[e];
 
+    // Observability: one span per epoch (pure read-side; stamped with the
+    // drift/estimate/policy decision right before its stats are pushed).
+    obs::Span epoch_span("epoch");
+    epoch_span.arg("epoch", e)
+        .arg("joins", epoch.joins + epoch.sybil_joins)
+        .arg("leaves", epoch.leaves);
+    const auto stamp_epoch_span = [&](const EpochStats& stats) {
+      epoch_span.arg("policy", cfg.mid_run.enabled ? "mid-run" : "snapshot")
+          .arg("estimated", stats.estimated ? 1 : 0)
+          .arg("drift", stats.drift)
+          .arg("estimate_mean_ratio", stats.fresh.mean_ratio)
+          .arg("warm", stats.warm_used ? 1 : 0)
+          .arg("eps_entry", stats.eps_entry_phase)
+          .arg("balls_recomputed", stats.balls_recomputed);
+    };
+
     // Membership/staleness bookkeeping shared by every path: judge the
     // estimates honest survivors still carry from previous epochs against
     // the CURRENT truth (before this epoch's run replaces them). Returns
@@ -185,6 +202,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         EpochStats stats;
         fill_membership_stats(stats);
         stats.estimated = false;
+        stamp_epoch_span(stats);
         out.epochs.push_back(stats);
         continue;
       }
@@ -371,6 +389,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       }
       acc_drift = 0.0;
       n_last_estimated = static_cast<double>(n);
+      stamp_epoch_span(stats);
       out.epochs.push_back(stats);
       continue;
     }
@@ -389,6 +408,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     stats.estimated = !inc_cfg.adaptive || e == 0 ||
                       acc_drift >= inc_cfg.drift_threshold;
     if (!stats.estimated) {
+      stamp_epoch_span(stats);
       out.epochs.push_back(stats);
       continue;
     }
@@ -498,6 +518,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     }
     acc_drift = 0.0;
     n_last_estimated = static_cast<double>(n);
+    stamp_epoch_span(stats);
     out.epochs.push_back(stats);
   }
   return out;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "graph/small_world.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace byz::incremental {
 
@@ -81,6 +83,9 @@ void IncrementalEngine::recompute_ball(NodeId v, graph::BfsScratch& scratch,
 }
 
 MutableOverlay::Snapshot IncrementalEngine::snapshot() {
+  static const obs::Counter obs_recomputed("incremental.balls_recomputed");
+  static const obs::Counter obs_reused("incremental.balls_reused");
+  obs::Span snap_span("incremental.snapshot");
   const auto& ov = *overlay_;
   MutableOverlay::Snapshot snap;
   snap.dense_to_stable = ov.alive_nodes();
@@ -112,14 +117,18 @@ MutableOverlay::Snapshot IncrementalEngine::snapshot() {
     }
   }
 
-#pragma omp parallel
   {
-    graph::BfsScratch scratch;
-    std::vector<graph::BallEntry> tmp;
+    obs::Span bfs_span("incremental.dirty_bfs");
+    bfs_span.arg("recompute", recompute.size()).arg("alive", n);
+#pragma omp parallel
+    {
+      graph::BfsScratch scratch;
+      std::vector<graph::BallEntry> tmp;
 #pragma omp for schedule(dynamic, 64)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(recompute.size());
-         ++i) {
-      recompute_ball(recompute[static_cast<std::size_t>(i)], scratch, tmp);
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(recompute.size());
+           ++i) {
+        recompute_ball(recompute[static_cast<std::size_t>(i)], scratch, tmp);
+      }
     }
   }
   // Departed nodes keep no ball (their stable ids are never reused).
@@ -132,59 +141,67 @@ MutableOverlay::Snapshot IncrementalEngine::snapshot() {
   stats_.last_reused = n - recompute.size();
   stats_.balls_recomputed += stats_.last_recomputed;
   stats_.balls_reused += stats_.last_reused;
+  obs_recomputed.add(stats_.last_recomputed);
+  obs_reused.add(stats_.last_reused);
+  snap_span.arg("recomputed", stats_.last_recomputed)
+      .arg("reused", stats_.last_reused);
+  {
+    obs::Span csr_span("incremental.csr_assembly");
 
-  // H: every node holds exactly one successor and one predecessor slot per
-  // cycle, so the CSR offsets are uniform; sorting each d-slot row matches
-  // the multiset sort Graph::from_edges performs in the full rebuild.
-  const std::uint32_t d = ov.d();
-  const std::uint32_t cycles = ov.num_cycles();
-  std::vector<std::uint64_t> h_off(static_cast<std::size_t>(n) + 1);
-  for (NodeId i = 0; i <= n; ++i) {
-    h_off[i] = static_cast<std::uint64_t>(i) * d;
-  }
-  std::vector<NodeId> h_nbrs(static_cast<std::uint64_t>(n) * d);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
-    const auto i = static_cast<NodeId>(si);
-    const NodeId v = snap.dense_to_stable[i];
-    NodeId* row = h_nbrs.data() + static_cast<std::uint64_t>(i) * d;
-    for (std::uint32_t c = 0; c < cycles; ++c) {
-      row[2 * c] = dense[ov.successor(c, v)];
-      row[2 * c + 1] = dense[ov.predecessor(c, v)];
+    // H: every node holds exactly one successor and one predecessor slot
+    // per cycle, so the CSR offsets are uniform; sorting each d-slot row
+    // matches the multiset sort Graph::from_edges performs in the full
+    // rebuild.
+    const std::uint32_t d = ov.d();
+    const std::uint32_t cycles = ov.num_cycles();
+    std::vector<std::uint64_t> h_off(static_cast<std::size_t>(n) + 1);
+    for (NodeId i = 0; i <= n; ++i) {
+      h_off[i] = static_cast<std::uint64_t>(i) * d;
     }
-    std::sort(row, row + d);
-  }
-
-  // G: prefix-sum the stored ball sizes, then translate stable→dense. The
-  // mapping is monotone (dense order IS increasing stable order), so the
-  // stable-sorted balls land dense-sorted without re-sorting.
-  std::vector<std::uint64_t> g_off(static_cast<std::size_t>(n) + 1, 0);
-  for (NodeId i = 0; i < n; ++i) {
-    g_off[i + 1] = g_off[i] + balls_[snap.dense_to_stable[i]].size();
-  }
-  std::vector<NodeId> g_nbrs(g_off[n]);
-  std::vector<std::uint8_t> g_dist(g_off[n]);
+    std::vector<NodeId> h_nbrs(static_cast<std::uint64_t>(n) * d);
 #pragma omp parallel for schedule(static)
-  for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
-    const auto i = static_cast<NodeId>(si);
-    const auto& ball = balls_[snap.dense_to_stable[i]];
-    const std::uint64_t base = g_off[i];
-    for (std::size_t j = 0; j < ball.size(); ++j) {
-      g_nbrs[base + j] = dense[ball[j].node];
-      g_dist[base + j] = ball[j].dist;
+    for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
+      const auto i = static_cast<NodeId>(si);
+      const NodeId v = snap.dense_to_stable[i];
+      NodeId* row = h_nbrs.data() + static_cast<std::uint64_t>(i) * d;
+      for (std::uint32_t c = 0; c < cycles; ++c) {
+        row[2 * c] = dense[ov.successor(c, v)];
+        row[2 * c + 1] = dense[ov.predecessor(c, v)];
+      }
+      std::sort(row, row + d);
     }
-  }
 
-  graph::OverlayParams params;
-  params.n = n;
-  params.d = d;
-  params.k = ov.k();
-  params.seed = ov.bootstrap_seed();
-  params.generation = ov.build_tag();
-  snap.overlay = graph::Overlay::build_with_balls(
-      params, graph::Graph::from_csr(std::move(h_off), std::move(h_nbrs)),
-      graph::Graph::from_csr(std::move(g_off), std::move(g_nbrs)),
-      std::move(g_dist));
+    // G: prefix-sum the stored ball sizes, then translate stable→dense.
+    // The mapping is monotone (dense order IS increasing stable order), so
+    // the stable-sorted balls land dense-sorted without re-sorting.
+    std::vector<std::uint64_t> g_off(static_cast<std::size_t>(n) + 1, 0);
+    for (NodeId i = 0; i < n; ++i) {
+      g_off[i + 1] = g_off[i] + balls_[snap.dense_to_stable[i]].size();
+    }
+    std::vector<NodeId> g_nbrs(g_off[n]);
+    std::vector<std::uint8_t> g_dist(g_off[n]);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
+      const auto i = static_cast<NodeId>(si);
+      const auto& ball = balls_[snap.dense_to_stable[i]];
+      const std::uint64_t base = g_off[i];
+      for (std::size_t j = 0; j < ball.size(); ++j) {
+        g_nbrs[base + j] = dense[ball[j].node];
+        g_dist[base + j] = ball[j].dist;
+      }
+    }
+
+    graph::OverlayParams params;
+    params.n = n;
+    params.d = d;
+    params.k = ov.k();
+    params.seed = ov.bootstrap_seed();
+    params.generation = ov.build_tag();
+    snap.overlay = graph::Overlay::build_with_balls(
+        params, graph::Graph::from_csr(std::move(h_off), std::move(h_nbrs)),
+        graph::Graph::from_csr(std::move(g_off), std::move(g_nbrs)),
+        std::move(g_dist));
+  }
 
   if (config_.verify_against_full) {
     const auto reference = ov.snapshot();

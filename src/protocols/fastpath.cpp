@@ -6,6 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/color.hpp"
 #include "protocols/flooding.hpp"
 #include "protocols/neighborhood.hpp"
@@ -58,6 +60,14 @@ RunResult run_counting_with(const graph::Overlay& overlay,
     throw std::invalid_argument("run_counting: mask size mismatch");
   }
   const std::uint32_t d = overlay.params().d;
+
+  // Observability spans (pure read-side; see src/obs/obs.hpp). The run
+  // span encloses setup and every phase; phase/subphase spans nest inside
+  // it, and the flood kernel adds flood.subphase/flood.round below them.
+  static const obs::Counter obs_subphases("count.subphases");
+  static const obs::Counter obs_straggler_floods("count.straggler_floods");
+  obs::Span run_span("count.run");
+  run_span.arg("n", n).arg("start_phase", controls.start_phase);
 
   RunResult result;
   result.status.assign(nb, NodeStatus::kUndecided);
@@ -146,6 +156,8 @@ RunResult run_counting_with(const graph::Overlay& overlay,
   std::uint32_t phase = controls.start_phase - 1;
   while (phase < max_phase && active_count > 0) {
     ++phase;
+    obs::Span phase_span("count.phase");
+    phase_span.arg("phase", phase).arg("active_in", active_count);
     if (midrun != nullptr) {
       // Phase boundary: the membership policy admits pending joiners (they
       // start generating this phase) and hands back the Verifier the
@@ -168,6 +180,9 @@ RunResult run_counting_with(const graph::Overlay& overlay,
     result.subphases_scheduled += subphases;
 
     for (std::uint32_t j = 1; j <= subphases; ++j) {
+      obs::Span sub_span("count.subphase");
+      sub_span.arg("phase", phase).arg("j", j);
+      obs_subphases.add(1);
       bool focused = false;
       const std::uint32_t s =
           global_subphase_index(phase, j, d, cfg.schedule);
@@ -238,6 +253,8 @@ RunResult run_counting_with(const graph::Overlay& overlay,
                          injections, ws, result.instr);
       global_round += phase;
       ++result.subphases_executed;
+      sub_span.arg("focused", focused ? 1 : 0);
+      if (focused) obs_straggler_floods.add(1);
 
       // Line 18: the phase "continues" for v if the final-step max strictly
       // beats every earlier step AND clears the threshold, in ANY subphase.
@@ -254,6 +271,7 @@ RunResult run_counting_with(const graph::Overlay& overlay,
           unfired_list.push_back(v);
         }
       }
+      sub_span.arg("unfired", unfired_list.size());
       // Lazy evaluation, stage 1: once every active node has fired, the
       // remaining subphases cannot change any decision (fired is monotone
       // and the only cross-subphase state) — to the cold tier they are
@@ -294,9 +312,11 @@ RunResult run_counting_with(const graph::Overlay& overlay,
     BYZ_TRACE << "phase " << phase << ": " << subphases << " subphases, "
               << decided_now << " nodes decided (estimate=" << phase << "), "
               << active_count << " still active";
+    phase_span.arg("decided", decided_now).arg("active_out", active_count);
   }
   result.phases_executed = phase;
   result.flood_rounds = result.instr.flood_rounds;
+  run_span.arg("phases", phase).arg("rounds", result.instr.flood_rounds);
   return result;
 }
 

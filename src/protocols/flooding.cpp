@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace byz::proto {
 
 using graph::NodeId;
@@ -57,8 +60,23 @@ void run_flood_subphase(const graph::Overlay& overlay,
     if (gen_color[v] > 0 && !crashed[v]) ws.frontier.push_back(v);
   }
 
+  // Observability (pure read-side; inert unless obs::set_enabled). The
+  // subphase span carries the flood geometry; each round span carries the
+  // frontier it sent from and the token volume the sends produced.
+  static const obs::Counter obs_rounds("flood.rounds");
+  static const obs::Counter obs_tokens("flood.tokens");
+  static const obs::Histogram obs_frontier("flood.frontier");
+  obs::Span subphase_span("flood.subphase");
+  subphase_span.arg("steps", params.steps)
+      .arg("focused", params.region.empty() ? 0 : 1);
+  const std::uint64_t subphase_tokens_before = instr.token_messages;
+
   // Injections grouped by step (inputs are few; linear scan per step).
   for (std::uint32_t t = 1; t <= params.steps; ++t) {
+    obs::Span round_span("flood.round");
+    round_span.arg("step", t).arg("frontier", ws.frontier.size());
+    obs_frontier.observe(ws.frontier.size());
+    const std::uint64_t round_tokens_before = instr.token_messages;
     // Mid-run churn: apply the events scheduled for this round BEFORE its
     // sends, so a node departing at round r never sends at r and a joiner
     // entering at r can receive at r. The hooks also get the canonical
@@ -156,8 +174,12 @@ void run_flood_subphase(const graph::Overlay& overlay,
       }
     }
     ws.frontier.swap(ws.next_frontier);
+    round_span.arg("tokens", instr.token_messages - round_tokens_before);
   }
   instr.flood_rounds += params.steps;
+  obs_rounds.add(params.steps);
+  obs_tokens.add(instr.token_messages - subphase_tokens_before);
+  subphase_span.arg("tokens", instr.token_messages - subphase_tokens_before);
 }
 
 }  // namespace byz::proto

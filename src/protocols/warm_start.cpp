@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "protocols/refine.hpp"
 
 namespace byz::proto {
@@ -93,6 +95,7 @@ EpsEntryPlan choose_eps_entry(const WarmState& state,
                               const ScheduleConfig& schedule,
                               const WarmConfig& warm_cfg, bool allow_skip) {
   EpsEntryPlan plan;
+  obs::Span eps_span("warm.eps_entry");
   const std::size_t n = dense_to_stable.size();
   std::uint64_t honest = 0;
   for (std::size_t v = 0; v < n; ++v) {
@@ -100,6 +103,8 @@ EpsEntryPlan choose_eps_entry(const WarmState& state,
   }
   plan.budget_nodes = static_cast<std::uint64_t>(
       warm_cfg.eps_budget * static_cast<double>(honest));
+  eps_span.arg("budget_nodes", plan.budget_nodes)
+      .arg("allow_skip", allow_skip ? 1 : 0);
   if (!allow_skip) return plan;
 
   // Entry is the QUANTILE of the seeded estimate distribution, not its
@@ -141,6 +146,8 @@ EpsEntryPlan choose_eps_entry(const WarmState& state,
       plan.skipped_subphases += subphases_in_phase(i, d, schedule);
     }
   }
+  eps_span.arg("entry_phase", plan.entry_phase)
+      .arg("skipped_subphases", plan.skipped_subphases);
   return plan;
 }
 
@@ -187,24 +194,33 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   // so a clean ball pins both), recomputed rows for dirty ones. Dirty rows
   // are dropped from the cache up front, so validity alone decides reuse.
   invalidate_dirty_rows(state, dirty_stable);
+  static const obs::Counter obs_rows_reused("warm.rows_reused");
+  static const obs::Counter obs_rows_recomputed("warm.rows_recomputed");
   std::vector<std::uint32_t> rows(static_cast<std::size_t>(n) * k);
   std::vector<std::uint8_t> chains(n);
-  for (NodeId v = 0; v < n; ++v) {
-    const NodeId s = dense_to_stable[v];
-    const bool reuse = !cold && s < state.row_valid.size() &&
-                       state.row_valid[s] != 0;
-    if (reuse) {
-      std::copy_n(state.ball_counts.data() + static_cast<std::size_t>(s) * k,
-                  k, rows.data() + static_cast<std::size_t>(v) * k);
-      chains[v] = state.chain_len[s];
-      ++out.rows_reused;
-    } else {
-      verifier_ball_row(overlay, v,
-                        rows.data() + static_cast<std::size_t>(v) * k);
-      chains[v] = verifier_chain_len(overlay, byz_mask, v,
-                                     cfg.verification.chain_model);
-      ++out.rows_recomputed;
+  {
+    obs::Span rows_span("warm.rows");
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId s = dense_to_stable[v];
+      const bool reuse = !cold && s < state.row_valid.size() &&
+                         state.row_valid[s] != 0;
+      if (reuse) {
+        std::copy_n(state.ball_counts.data() + static_cast<std::size_t>(s) * k,
+                    k, rows.data() + static_cast<std::size_t>(v) * k);
+        chains[v] = state.chain_len[s];
+        ++out.rows_reused;
+      } else {
+        verifier_ball_row(overlay, v,
+                          rows.data() + static_cast<std::size_t>(v) * k);
+        chains[v] = verifier_chain_len(overlay, byz_mask, v,
+                                       cfg.verification.chain_model);
+        ++out.rows_recomputed;
+      }
     }
+    rows_span.arg("reused", out.rows_reused)
+        .arg("recomputed", out.rows_recomputed);
+    obs_rows_reused.add(out.rows_reused);
+    obs_rows_recomputed.add(out.rows_recomputed);
   }
   fold_verifier_rows(state, k, dense_to_stable, rows, chains);
   const Verifier verifier(overlay, byz_mask, cfg.verification, std::move(rows),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "protocols/color.hpp"
 #include "protocols/neighborhood.hpp"
 #include "protocols/schedule.hpp"
@@ -41,8 +42,10 @@ Engine::Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
 }
 
 proto::RunResult Engine::run() {
+  obs::Span run_span("engine.run");
   const NodeId n = overlay_.num_nodes();
   const std::uint32_t d = overlay_.params().d;
+  run_span.arg("n", n).arg("start_phase", start_phase_);
   result_ = proto::RunResult{};
   result_.status.assign(nb_, proto::NodeStatus::kUndecided);
   result_.estimate.assign(nb_, 0);
@@ -98,6 +101,8 @@ proto::RunResult Engine::run() {
   std::uint32_t phase = start_phase_ - 1;
   while (phase < max_phase && active_count_ > 0) {
     ++phase;
+    obs::Span phase_span("engine.phase");
+    phase_span.arg("phase", phase).arg("active_in", active_count_);
     if (midrun_ != nullptr) {
       // Phase boundary: the membership policy admits pending joiners (they
       // start generating this phase) and hands back the Verifier the
@@ -150,9 +155,11 @@ proto::RunResult Engine::run() {
       result_.status[v] = proto::NodeStatus::kDecided;
       result_.estimate[v] = phase;
     }
+    phase_span.arg("active_out", active_count_);
   }
   result_.phases_executed = phase;
   result_.flood_rounds = result_.instr.flood_rounds;
+  run_span.arg("phases", phase).arg("rounds", result_.instr.flood_rounds);
   return result_;
 }
 
@@ -177,8 +184,12 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
   std::vector<proto::Injection> injections;
   strategy_.plan_subphase(world_, {phase, j, s}, injections);
 
+  obs::Span sub_span("engine.subphase");
+  sub_span.arg("phase", phase).arg("j", j);
   std::vector<Color> recv(nb_, 0);
   for (std::uint32_t t = 1; t <= phase; ++t) {
+    obs::Span round_span("engine.round");
+    round_span.arg("step", t);
     // Mid-run churn: hand the hooks the canonical wavefront and let them
     // apply this round's events BEFORE the sends — so a node departing at
     // round r never sends at r and a joiner entering at r can receive at
@@ -269,6 +280,7 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
       recv[v] = 0;
     }
     round_messages_.push_back(sent_this_round);
+    round_span.arg("tokens", sent_this_round);
   }
   result_.instr.flood_rounds += phase;
   global_round_ += phase;

@@ -9,6 +9,9 @@ namespace byz::util {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_mutex;
+// Sink hook (guarded by g_mutex).
+LogSink g_sink = nullptr;
+void* g_sink_user = nullptr;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,9 +34,19 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink, void* user) noexcept {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink;
+  g_sink_user = user;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
   const std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink != nullptr) {
+    g_sink(level, message, g_sink_user);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

@@ -16,6 +16,12 @@ void set_log_level(LogLevel level) noexcept;
 /// Emits one formatted line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
 
+/// Optional sink hook: when set, passing lines go to the sink instead of
+/// stderr (tests capture output this way). Null restores stderr.
+using LogSink = void (*)(LogLevel level, const std::string& message,
+                         void* user);
+void set_log_sink(LogSink sink, void* user = nullptr) noexcept;
+
 namespace detail {
 class LogStream {
  public:

@@ -1,0 +1,124 @@
+#include "sim/instrumentation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace byz::sim {
+namespace {
+
+Instrumentation sample_a() {
+  Instrumentation a;
+  a.setup_messages = 3;
+  a.setup_bytes = 40;
+  a.token_messages = 100;
+  a.token_bytes = 1200;
+  a.verify_messages = 8;
+  a.verify_bytes = 128;
+  a.flood_rounds = 12;
+  a.injections_attempted = 5;
+  a.injections_accepted = 2;
+  a.injections_caught = 3;
+  a.max_node_round_sends = 9;
+  a.crashes = 1;
+  return a;
+}
+
+Instrumentation sample_b() {
+  Instrumentation b;
+  b.setup_messages = 7;
+  b.setup_bytes = 60;
+  b.token_messages = 50;
+  b.token_bytes = 600;
+  b.verify_messages = 4;
+  b.verify_bytes = 64;
+  b.flood_rounds = 6;
+  b.injections_attempted = 1;
+  b.injections_accepted = 0;
+  b.injections_caught = 1;
+  b.max_node_round_sends = 4;
+  b.crashes = 2;
+  return b;
+}
+
+TEST(Instrumentation, MergeIsAdditiveOnEveryCounter) {
+  Instrumentation merged = sample_a();
+  merged.merge(sample_b());
+  const Instrumentation a = sample_a();
+  const Instrumentation b = sample_b();
+  EXPECT_EQ(merged.setup_messages, a.setup_messages + b.setup_messages);
+  EXPECT_EQ(merged.setup_bytes, a.setup_bytes + b.setup_bytes);
+  EXPECT_EQ(merged.token_messages, a.token_messages + b.token_messages);
+  EXPECT_EQ(merged.token_bytes, a.token_bytes + b.token_bytes);
+  EXPECT_EQ(merged.verify_messages, a.verify_messages + b.verify_messages);
+  EXPECT_EQ(merged.verify_bytes, a.verify_bytes + b.verify_bytes);
+  EXPECT_EQ(merged.flood_rounds, a.flood_rounds + b.flood_rounds);
+  EXPECT_EQ(merged.injections_attempted,
+            a.injections_attempted + b.injections_attempted);
+  EXPECT_EQ(merged.injections_accepted,
+            a.injections_accepted + b.injections_accepted);
+  EXPECT_EQ(merged.injections_caught,
+            a.injections_caught + b.injections_caught);
+  EXPECT_EQ(merged.crashes, a.crashes + b.crashes);
+}
+
+TEST(Instrumentation, MergeTakesMaxOfPeakFanOut) {
+  // max_node_round_sends is a peak, not a volume: merging trials keeps
+  // the larger of the two, in either merge order.
+  Instrumentation merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_EQ(merged.max_node_round_sends, 9u);
+  Instrumentation reversed = sample_b();
+  reversed.merge(sample_a());
+  EXPECT_EQ(reversed.max_node_round_sends, 9u);
+}
+
+TEST(Instrumentation, ByteModelConstants) {
+  // §2.1 small-sized messages: token = 4B color + 8B header; ids are 4B;
+  // a verification query/response carries 2 ids + color.
+  EXPECT_EQ(Instrumentation::kTokenBytes, 12u);
+  EXPECT_EQ(Instrumentation::kIdBytes, 4u);
+  EXPECT_EQ(Instrumentation::kVerifyBytes, 16u);
+}
+
+TEST(Instrumentation, CountTokenAppliesByteModel) {
+  Instrumentation instr;
+  instr.count_token();
+  EXPECT_EQ(instr.token_messages, 1u);
+  EXPECT_EQ(instr.token_bytes, Instrumentation::kTokenBytes);
+  instr.count_token(10);
+  EXPECT_EQ(instr.token_messages, 11u);
+  EXPECT_EQ(instr.token_bytes, 11 * Instrumentation::kTokenBytes);
+}
+
+TEST(Instrumentation, CountSetupListIsHeaderPlusIds) {
+  Instrumentation instr;
+  instr.count_setup_list(5);
+  EXPECT_EQ(instr.setup_messages, 1u);
+  EXPECT_EQ(instr.setup_bytes, 8 + 5 * Instrumentation::kIdBytes);
+  instr.count_setup_list(0);
+  EXPECT_EQ(instr.setup_messages, 2u);
+  EXPECT_EQ(instr.setup_bytes, 8 + 5 * Instrumentation::kIdBytes + 8);
+}
+
+TEST(Instrumentation, CountVerificationCountsBothDirections) {
+  Instrumentation instr;
+  instr.count_verification(3);
+  EXPECT_EQ(instr.verify_messages, 6u);
+  EXPECT_EQ(instr.verify_bytes, 6 * Instrumentation::kVerifyBytes);
+}
+
+TEST(Instrumentation, TotalsSumTheThreeTrafficClasses) {
+  const Instrumentation a = sample_a();
+  EXPECT_EQ(a.total_messages(),
+            a.setup_messages + a.token_messages + a.verify_messages);
+  EXPECT_EQ(a.total_bytes(), a.setup_bytes + a.token_bytes + a.verify_bytes);
+}
+
+TEST(Instrumentation, EqualityIsCounterForCounter) {
+  EXPECT_EQ(sample_a(), sample_a());
+  Instrumentation tweaked = sample_a();
+  tweaked.token_bytes += 1;
+  EXPECT_NE(sample_a(), tweaked);
+}
+
+}  // namespace
+}  // namespace byz::sim

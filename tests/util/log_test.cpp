@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace byz::util {
 namespace {
 
@@ -12,6 +16,27 @@ class LogLevelGuard {
 
  private:
   LogLevel saved_;
+};
+
+/// Captures every line passing the threshold; restores stderr on exit.
+class CaptureSink {
+ public:
+  CaptureSink() {
+    set_log_sink(
+        [](LogLevel level, const std::string& message, void* user) {
+          static_cast<CaptureSink*>(user)->lines_.emplace_back(level, message);
+        },
+        this);
+  }
+  ~CaptureSink() { set_log_sink(nullptr); }
+
+  [[nodiscard]] const std::vector<std::pair<LogLevel, std::string>>& lines()
+      const {
+    return lines_;
+  }
+
+ private:
+  std::vector<std::pair<LogLevel, std::string>> lines_;
 };
 
 TEST(Log, LevelRoundTrips) {
@@ -44,6 +69,60 @@ TEST(Log, EmitBelowThresholdIsDropped) {
   // Nothing to assert on stderr contents portably; exercise the paths.
   log_line(LogLevel::kInfo, "dropped");
   log_line(LogLevel::kError, "kept");
+  SUCCEED();
+}
+
+TEST(Log, SinkReceivesOnlyPassingLines) {
+  LogLevelGuard guard;
+  CaptureSink sink;
+  set_log_level(LogLevel::kWarn);
+  log_line(LogLevel::kInfo, "below threshold");
+  log_line(LogLevel::kWarn, "at threshold");
+  log_line(LogLevel::kError, "above threshold");
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(static_cast<int>(sink.lines()[0].first),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_EQ(sink.lines()[0].second, "at threshold");
+  EXPECT_EQ(sink.lines()[1].second, "above threshold");
+}
+
+TEST(Log, LogStreamFlushesExactlyOnceAtScopeExit) {
+  LogLevelGuard guard;
+  CaptureSink sink;
+  set_log_level(LogLevel::kInfo);
+  {
+    detail::LogStream stream(LogLevel::kInfo);
+    stream << "a=" << 1 << " b=" << 2.5;
+    // Nothing emitted until the stream is destroyed.
+    EXPECT_TRUE(sink.lines().empty());
+  }
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_EQ(sink.lines()[0].second, "a=1 b=2.5");
+}
+
+TEST(Log, MacroAssemblesOneLinePerStatement) {
+  LogLevelGuard guard;
+  CaptureSink sink;
+  set_log_level(LogLevel::kInfo);
+  BYZ_INFO << "first " << 10;
+  BYZ_ERROR << "second";
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.lines()[0].second, "first 10");
+  EXPECT_EQ(static_cast<int>(sink.lines()[1].first),
+            static_cast<int>(LogLevel::kError));
+  EXPECT_EQ(sink.lines()[1].second, "second");
+}
+
+TEST(Log, NullSinkRestoresStderrPath) {
+  LogLevelGuard guard;
+  {
+    CaptureSink sink;
+    set_log_level(LogLevel::kInfo);
+    log_line(LogLevel::kInfo, "captured");
+    ASSERT_EQ(sink.lines().size(), 1u);
+  }
+  // Sink removed: the stderr path must not crash.
+  log_line(LogLevel::kError, "back to stderr");
   SUCCEED();
 }
 

@@ -29,6 +29,9 @@ def load_guard(path):
     guard = doc.get("metrics", {}).get("guard")
     if guard is None:
         raise KeyError(f"{path}: manifest has no metrics.guard object")
+    if not guard:
+        raise KeyError(f"{path}: metrics.guard is empty — the scenario "
+                       "recorded no guard numbers")
     return scenario, guard
 
 
@@ -48,14 +51,23 @@ def main(argv):
         if value:
             point[out_key] = value
 
+    # Check EVERY manifest before failing so one CI run reports the full
+    # list of offenders instead of one per attempt.
     guards = {}
+    errors = []
     for path in args.manifests:
         try:
             scenario, guard = load_guard(path)
         except (OSError, ValueError, KeyError) as err:
-            print(f"ERROR: {err}", file=sys.stderr)
-            return 1
+            errors.append(str(err))
+            continue
         guards[scenario] = guard
+    if errors:
+        for err in errors:
+            print(f"ERROR: {err}", file=sys.stderr)
+        print(f"ERROR: {len(errors)} of {len(args.manifests)} manifest(s) "
+              "unusable; no trajectory point written", file=sys.stderr)
+        return 1
     point["guards"] = guards
 
     out_dir = os.path.dirname(args.out)
