@@ -6,10 +6,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "byzcount.hpp"
+#include "obs/digest.hpp"
 
 namespace byz::bench {
 
@@ -31,6 +33,26 @@ inline double lg(double x) { return std::log2(x); }
 /// Grid axis covering the pow2 sweep [2^lo, 2^hi] (declarative view).
 inline GridAxis pow2_axis(std::uint32_t lo, std::uint32_t hi) {
   return {"n", {"2^" + std::to_string(lo) + "..2^" + std::to_string(hi)}};
+}
+
+/// Divergence-audit sidecar: DIGEST_<exp>.json under ctx.digest_out(),
+/// carrying the order-independent XOR of the scenario's per-run digests.
+/// Deliberately OUTSIDE the BENCH manifest so audited and plain byzbench
+/// runs stay bitwise identical there; CI diffs the sidecar across --jobs
+/// values instead (the XOR fold makes scheduler interleaving irrelevant).
+inline void write_digest_sidecar(RunContext& ctx, const std::string& exp,
+                                 std::uint64_t digest_xor,
+                                 std::uint64_t runs_digested,
+                                 std::uint64_t trail_divergences) {
+  if (ctx.digest_out().empty()) return;
+  std::ofstream out(ctx.digest_out() + "/DIGEST_" + exp + ".json");
+  out << "{\n"
+      << "  \"schema\": \"byzobs/digest/v1\",\n"
+      << "  \"experiment\": \"" << exp << "\",\n"
+      << "  \"runs_digested\": " << runs_digested << ",\n"
+      << "  \"digest_xor\": \"" << obs::hex_u64(digest_xor) << "\",\n"
+      << "  \"trail_divergences\": " << trail_divergences << "\n"
+      << "}\n";
 }
 
 }  // namespace byz::bench

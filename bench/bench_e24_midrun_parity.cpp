@@ -38,6 +38,14 @@ bool runs_identical(const proto::RunResult& a, const proto::RunResult& b) {
          ia.crashes == ib.crashes;
 }
 
+/// Per-trial result: outcome parity plus the audit-only digest facts for
+/// the DIGEST_e24.json sidecar (zeros when --audit is off).
+struct TrialAudit {
+  std::uint32_t ok = 0;
+  std::uint64_t digest = 0;
+  std::uint32_t trail_divergences = 0;
+};
+
 void run_e24(RunContext& ctx) {
   const auto sizes = analysis::pow2_sizes(9, ctx.max_exp(11));
   const auto t = ctx.trials(4);
@@ -52,6 +60,7 @@ void run_e24(RunContext& ctx) {
                     std::to_string(t) + " trials per cell, d=6)");
   table.columns({"n0", "strategy", "runs compared", "identical"});
   std::uint64_t total = 0, identical = 0;
+  std::uint64_t digest_xor = 0, trail_divergences = 0;
   for (const auto n0 : sizes) {
     for (const auto strategy : strategies) {
       const std::uint64_t base_seed = 0xE24 + n0;
@@ -69,25 +78,61 @@ void run_e24(RunContext& ctx) {
         }
         proto::ProtocolConfig cfg;
         auto cold_strategy = adv::make_strategy(strategy);
-        const auto expect = proto::run_counting(snap.overlay, dense_byz,
-                                                *cold_strategy, cfg, seed);
+        // --audit sharpens this anchor from outcome parity to TRAIL
+        // parity: the static run and each empty-schedule mid-run record
+        // hierarchical digests, which must match entry for entry.
+        obs::RunDigester static_dig;
+        proto::RunControls static_rc;
+        static_rc.digester = ctx.audit() ? &static_dig : nullptr;
+        const auto expect =
+            proto::run_counting_with(snap.overlay, dense_byz, *cold_strategy,
+                                     cfg, seed, static_rc);
 
-        std::uint32_t ok = 0;
+        TrialAudit r;
         for (const auto policy : policies) {
           dynamics::MidRunConfig mid_cfg;
           mid_cfg.policy = policy;
           util::Xoshiro256 churn_rng(util::mix_seed(seed, 0xC002));
           auto live_strategy = adv::make_strategy(strategy);
+          obs::RunDigester live_dig;
           const auto got = dynamics::run_counting_midrun(
               overlay, byz, *live_strategy, cfg, seed,
               dynamics::ChurnSchedule{}, mid_cfg, adv::ChurnAdversary::kNone,
-              churn_rng);
-          if (runs_identical(got.run, expect)) ++ok;
+              churn_rng, nullptr, ctx.audit() ? &live_dig : nullptr);
+          if (runs_identical(got.run, expect)) ++r.ok;
+          if (ctx.audit()) {
+            const auto div = obs::first_divergence(static_dig.trail(),
+                                                   live_dig.trail());
+            if (div.diverged()) {
+              ++r.trail_divergences;
+              if (!ctx.digest_out().empty()) {
+                obs::ForensicsInfo info;
+                info.scenario = "e24";
+                info.seed = seed;
+                info.flags = "--audit policy=" +
+                             std::string(proto::to_string(policy));
+                info.detail = "empty-schedule mid-run trail diverged from "
+                              "the static run";
+                info.tier_a = "static";
+                info.tier_b = "midrun-empty";
+                obs::write_forensics_file(
+                    ctx.digest_out() + "/forensics_e24_" +
+                        std::to_string(seed) + ".json",
+                    obs::forensics_json(info, static_dig.trail(),
+                                        live_dig.trail(), nullptr, nullptr));
+              }
+            }
+          }
         }
-        return ok;
+        r.digest = static_dig.trail().run_digest;
+        return r;
       });
       std::uint64_t cell_ok = 0;
-      for (const auto ok : oks) cell_ok += ok;
+      for (const auto& r : oks) {
+        cell_ok += r.ok;
+        digest_xor ^= r.digest;
+        trail_divergences += r.trail_divergences;
+      }
       const std::uint64_t cell_total = static_cast<std::uint64_t>(t) * 2;
       total += cell_total;
       identical += cell_ok;
@@ -111,6 +156,9 @@ void run_e24(RunContext& ctx) {
   guard["identical"] = (identical == total);
   guard["compared"] = total;
   ctx.metric("guard", std::move(guard));
+  if (ctx.audit()) {
+    write_digest_sidecar(ctx, "e24", digest_xor, total, trail_divergences);
+  }
 }
 
 }  // namespace

@@ -15,6 +15,14 @@ namespace {
 using namespace byz;
 using namespace byz::bench;
 
+/// Per-trial result: outcome parity (the guard, identical audited or not)
+/// plus the audit-only digest facts that feed the DIGEST_e26.json sidecar.
+struct TrialAudit {
+  std::uint32_t ok = 0;
+  std::uint64_t digest = 0;
+  std::uint32_t trail_divergences = 0;
+};
+
 void run_e26(RunContext& ctx) {
   const auto sizes = analysis::pow2_sizes(9, ctx.max_exp(10));
   const auto t = ctx.trials(3);
@@ -32,6 +40,7 @@ void run_e26(RunContext& ctx) {
   table.columns({"n0", "strategy", "policy", "schedule", "events/run",
                  "runs compared", "identical"});
   std::uint64_t total = 0, identical = 0;
+  std::uint64_t digest_xor = 0, trail_divergences = 0;
   for (const auto n0 : sizes) {
     for (const auto strategy : strategies) {
       for (const auto policy : policies) {
@@ -63,13 +72,31 @@ void run_e26(RunContext& ctx) {
               mid_cfg.policy = policy;
               mid_cfg.schedule_strategy = schedule_strategy;
               util::Xoshiro256 churn_rng(util::mix_seed(seed, 0xC002));
+              // --audit: both tiers digest every round; divergence emits a
+              // byzobs/forensics/v1 report under --digest-out. The guard
+              // stays an OUTCOME check either way, so the BENCH manifest is
+              // bitwise identical audited or not.
+              obs::AuditConfig audit;
+              audit.scenario = "e26";
+              audit.seed = seed;
+              audit.flags = "--audit";
+              audit.out_dir = ctx.digest_out();
               const auto cmp = dynamics::compare_midrun_tiers(
                   overlay, byz, strategy, cfg, seed, schedule, mid_cfg,
-                  adv::ChurnAdversary::kNone, churn_rng);
-              return cmp.identical ? std::uint32_t{1} : std::uint32_t{0};
+                  adv::ChurnAdversary::kNone, churn_rng,
+                  ctx.audit() ? &audit : nullptr);
+              TrialAudit r;
+              r.ok = cmp.identical ? 1 : 0;
+              r.digest = cmp.run_digest_fastpath;
+              r.trail_divergences = !cmp.digests_identical ? 1 : 0;
+              return r;
             });
             std::uint64_t cell_ok = 0;
-            for (const auto ok : oks) cell_ok += ok;
+            for (const auto& r : oks) {
+              cell_ok += r.ok;
+              digest_xor ^= r.digest;
+              trail_divergences += r.trail_divergences;
+            }
             total += t;
             identical += cell_ok;
             table.row()
@@ -101,6 +128,9 @@ void run_e26(RunContext& ctx) {
   guard["divergences"] = total - identical;
   guard["compared"] = total;
   ctx.metric("guard", std::move(guard));
+  if (ctx.audit()) {
+    write_digest_sidecar(ctx, "e26", digest_xor, total, trail_divergences);
+  }
 }
 
 }  // namespace

@@ -38,6 +38,7 @@ void run_e28(RunContext& ctx) {
   std::uint64_t guard_divergences = 0;
   double guard_dirty_frac = 1.0;
   bool have_guard = false;
+  std::uint64_t digest_xor = 0, epochs_digested = 0, forensics_reports = 0;
   for (const auto n0 : sizes) {
     for (const auto policy : policies) {
       for (const double rate : rates) {
@@ -58,6 +59,11 @@ void run_e28(RunContext& ctx) {
         cfg.incremental.warm_start = true;
         cfg.incremental.verify_warm = true;  // cold shadow, decision parity
         cfg.incremental.warm.max_drift = 0.5;
+        // --audit: every tier the driver executes (composed run, engine
+        // oracle, cold shadow) records a digest trail; oracle seams emit
+        // byzobs/forensics/v1 reports under --digest-out on divergence.
+        cfg.audit = ctx.audit();
+        cfg.audit_dir = ctx.digest_out();
 
         const std::uint64_t base_seed = 0xE28 + n0 +
                                         static_cast<std::uint64_t>(rate * 1e4);
@@ -81,6 +87,11 @@ void run_e28(RunContext& ctx) {
             fresh.add(ep.fresh.frac_in_band);
             band_all.push_back(ep.fresh.frac_in_band);
             if (!ep.engine_match) ++divergences;
+            if (ep.run_digest != 0) {
+              digest_xor ^= ep.run_digest;
+              ++epochs_digested;
+            }
+            if (!ep.forensics_path.empty()) ++forensics_reports;
             messages += ep.messages;
             messages_cold += ep.messages_cold;
             rows_reused += ep.verify_rows_reused;
@@ -169,6 +180,10 @@ void run_e28(RunContext& ctx) {
              "% balls redone at the lowest rate.");
   ctx.emit(table);
   ctx.record_accuracy("fresh_in_band", band_all);
+  if (ctx.audit()) {
+    write_digest_sidecar(ctx, "e28", digest_xor, epochs_digested,
+                         forensics_reports);
+  }
 }
 
 }  // namespace

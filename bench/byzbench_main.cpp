@@ -31,6 +31,14 @@ int main(int argc, char** argv) {
   args.add_option("metrics-out",
                   "metrics registry dump, byzobs/metrics/v1 JSON (empty = off)",
                   "");
+  args.add_flag("audit",
+                "divergence audit: digest both tiers at every oracle seam "
+                "and emit byzobs/forensics/v1 reports on divergence "
+                "(BENCH manifests stay bitwise identical)");
+  args.add_option("digest-out",
+                  "directory for DIGEST_<exp>.json run-digest sidecars and "
+                  "forensics reports (empty = off; implies --audit)",
+                  "");
   auto& registry = bench_core::Registry::instance();
   bench_core::RunOptions opts;
   try {
@@ -45,6 +53,8 @@ int main(int argc, char** argv) {
     opts.json_out = args.str("json-out");
     opts.trace_out = args.str("trace-out");
     opts.metrics_out = args.str("metrics-out");
+    opts.digest_out = args.str("digest-out");
+    opts.audit = args.flag("audit") || !opts.digest_out.empty();
   } catch (const std::exception& e) {
     std::cerr << "byzbench: " << e.what() << "\n\n" << args.help();
     return 2;

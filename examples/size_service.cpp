@@ -144,6 +144,11 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   cfg.mid_run.policy = parse_policy(args.str("policy"));
   cfg.mid_run.schedule = parse_schedule(args.str("schedule"));
   cfg.run_engine = engine_oracle;
+  // Divergence audit: digest every tier at the driver's oracle seams and
+  // write byzobs/forensics/v1 reports (under --audit-dir) on divergence.
+  // Pure read-side — the table below is identical with or without it.
+  cfg.audit = args.flag("audit") || !args.str("audit-dir").empty();
+  cfg.audit_dir = args.str("audit-dir");
   if (eps_warm && !incremental) {
     BYZ_ERROR << "size_service: --eps-warm needs the warm tier "
                  "(pass --incremental)";
@@ -183,6 +188,7 @@ int run_churn_mode(const byz::util::ArgParser& args) {
              adv::to_string(cfg.mid_run.schedule) + "]";
   }
   if (engine_oracle) title += ", engine oracle";
+  if (cfg.audit) title += ", audited";
   util::Table table(title + ")");
   std::vector<std::string> columns = {
       "epoch",         "n(t)",           "byz",  "joins", "leaves",
@@ -297,6 +303,18 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   }
   table.note(note);
   std::cout << table;
+  if (cfg.audit) {
+    // Surface any forensics the engine-oracle seam wrote (verify_warm
+    // seams throw instead, with the report path in the exception message).
+    for (const auto& run : runs) {
+      for (const auto& ep : run.epochs) {
+        if (!ep.forensics_path.empty()) {
+          BYZ_ERROR << "size_service: divergence forensics written to "
+                    << ep.forensics_path;
+        }
+      }
+    }
+  }
   return 0;
 }
 
@@ -357,6 +375,12 @@ int main(int argc, char** argv) {
                                  "report bitwise agreement (works with "
                                  "--mid-run-churn, composed or not; not "
                                  "with snapshot-mode --incremental)");
+  args.add_flag("audit", "churn mode: record hierarchical digest trails in "
+                         "every tier and explain oracle failures with "
+                         "byzobs/forensics/v1 reports (pure read-side)");
+  args.add_option("audit-dir", "directory for forensics reports (implies "
+                               "--audit; \"\" = embed paths only)",
+                  "");
   args.add_option("trace-out",
                   "Chrome trace-event JSON file (Perfetto/chrome://tracing; "
                   "empty = tracing off)",

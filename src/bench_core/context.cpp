@@ -29,6 +29,12 @@ RunContext::RunContext(const ScenarioSpec& spec, const RunOptions& opts,
   doc_["metrics"] = Json::object();
 }
 
+bool RunContext::audit() const noexcept { return opts_.audit; }
+
+const std::string& RunContext::digest_out() const noexcept {
+  return opts_.digest_out;
+}
+
 std::uint32_t RunContext::trials(std::uint32_t base) const {
   const double scaled = base * scale_;
   return scaled < 1.0 ? 1u : static_cast<std::uint32_t>(scaled);

@@ -34,6 +34,15 @@ struct RunOptions {
   std::string trace_out;
   /// byzobs/metrics/v1 JSON file (src/obs/metrics.hpp); empty = off.
   std::string metrics_out;
+  /// Divergence-forensics audit (src/obs/digest.hpp): oracle scenarios
+  /// attach digesters to both execution tiers, compare the hierarchical
+  /// digest trails, and emit a byzobs/forensics/v1 report on divergence.
+  /// Pure read-side: BENCH manifests are bitwise identical with auditing
+  /// on and off (E29 + CI guard it).
+  bool audit = false;
+  /// Directory for DIGEST_<exp>.json sidecars (run-level digests) and
+  /// forensic reports; empty = render-only audit (nothing written).
+  std::string digest_out;
 };
 
 class RunContext {
@@ -47,6 +56,11 @@ class RunContext {
     return scheduler_;
   }
   [[nodiscard]] OverlayCache& cache() noexcept { return cache_; }
+  /// Audit mode (RunOptions::audit): scenarios with an oracle seam thread
+  /// an obs::AuditConfig through it when this is set.
+  [[nodiscard]] bool audit() const noexcept;
+  /// RunOptions::digest_out (forensics / digest-sidecar directory).
+  [[nodiscard]] const std::string& digest_out() const noexcept;
 
   /// Trial count after scaling (>= 1). Folds in the legacy BYZCOUNT_SCALE
   /// environment knob so capture scripts keep working.

@@ -133,8 +133,12 @@ std::vector<ScenarioOutcome> run_scenarios(const Registry& registry,
         // run-so-far). RUNMETA is the right home: the numbers are volatile
         // (timings, worker interleavings) and must NEVER leak into the
         // bitwise-deterministic BENCH manifest above.
-        meta["observability"] = metrics_summary_json(
+        Json observability = metrics_summary_json(
             obs::metrics_delta(metrics_before, obs::metrics_snapshot()));
+        // Span-buffer saturation so far: nonzero means the trace file will
+        // be missing tails (tools/trace_summary.py fails on it).
+        observability["dropped_spans"] = obs::trace_snapshot().dropped;
+        meta["observability"] = std::move(observability);
       }
 
       outcome.json_path = opts.json_out + "/BENCH_" + spec->id + ".json";

@@ -8,6 +8,7 @@
 
 #include "graph/categories.hpp"
 #include "incremental/engine.hpp"
+#include "obs/digest.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/runner.hpp"
@@ -38,6 +39,36 @@ bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
          ia.injections_accepted == ib.injections_accepted &&
          ia.injections_caught == ib.injections_caught &&
          ia.crashes == ib.crashes;
+}
+
+/// Renders (and, with an audit_dir, writes) a byzobs/forensics/v1 report
+/// for one oracle seam of one epoch. Returns the written path ("" when
+/// render-only or the write failed).
+std::string emit_forensics(const ChurnRunConfig& cfg, std::uint32_t epoch,
+                           const std::string& seam, const std::string& detail,
+                           const char* tier_a, const char* tier_b,
+                           const obs::RunDigester& a, const obs::RunDigester& b,
+                           const obs::FlightRecorder* rec_a,
+                           const obs::FlightRecorder* rec_b) {
+  obs::ForensicsInfo info;
+  info.scenario = "run_churn/" + seam;
+  info.seed = cfg.seed;
+  info.flags = "d=" + std::to_string(cfg.d) +
+               " strategy=" + std::string(adv::to_string(cfg.strategy)) +
+               (cfg.mid_run.enabled ? " mid-run" : "") +
+               (cfg.incremental.warm_start ? " warm" : "") +
+               (cfg.incremental.eps_warm ? " eps-warm" : "") +
+               " epoch=" + std::to_string(epoch);
+  info.detail = detail;
+  info.tier_a = tier_a;
+  info.tier_b = tier_b;
+  const std::string doc =
+      obs::forensics_json(info, a.trail(), b.trail(), rec_a, rec_b);
+  if (cfg.audit_dir.empty()) return {};
+  const std::string path = cfg.audit_dir + "/forensics_churn_" + seam +
+                           "_epoch" + std::to_string(epoch) + "_" +
+                           std::to_string(cfg.seed) + ".json";
+  return obs::write_forensics_file(path, doc) ? path : std::string{};
 }
 
 }  // namespace
@@ -219,6 +250,18 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       mid_cfg.policy = cfg.mid_run.policy;
       mid_cfg.schedule_strategy = cfg.mid_run.schedule;
 
+      // Divergence audit: every tier executed this epoch records a digest
+      // trail and a flight tail; the oracle checks below compare them and
+      // emit forensics on divergence. Null digesters otherwise (one branch
+      // per hook, trails untouched).
+      obs::FlightRecorder fast_rec, engine_rec, cold_rec;
+      obs::RunDigester fast_dig, engine_dig, cold_dig;
+      if (cfg.audit) {
+        fast_dig.attach_recorder(&fast_rec);
+        engine_dig.attach_recorder(&engine_rec);
+        cold_dig.attach_recorder(&cold_rec);
+      }
+
       // Composed tier: the run starts from the incremental snapshot
       // (bitwise identical to a cold rebuild by IncrementalEngine's
       // contract — verify_snapshots asserts it), reuses warm verifier
@@ -283,7 +326,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         engine_outcome = run_counting_midrun_engine(
             engine_overlay, engine_byz, *engine_strategy, cfg.protocol,
             color_seed, schedule, mid_cfg, cfg.churn_adversary, engine_rng,
-            &engine_composed);
+            &engine_composed, cfg.audit ? &engine_dig : nullptr);
       }
 
       // verify_warm: shadow the composed run with a COLD mid-run replay on
@@ -302,13 +345,14 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         cold_composed.snapshot = composed.snapshot;
         cold_outcome = run_counting_midrun(
             cold_overlay, cold_byz, *cold_strategy, cfg.protocol, color_seed,
-            schedule, mid_cfg, cfg.churn_adversary, cold_rng, &cold_composed);
+            schedule, mid_cfg, cfg.churn_adversary, cold_rng, &cold_composed,
+            cfg.audit ? &cold_dig : nullptr);
       }
 
-      auto outcome = run_counting_midrun(overlay, byz, *strategy,
-                                         cfg.protocol, color_seed, schedule,
-                                         mid_cfg, cfg.churn_adversary,
-                                         churn_rng, &composed);
+      auto outcome = run_counting_midrun(
+          overlay, byz, *strategy, cfg.protocol, color_seed, schedule, mid_cfg,
+          cfg.churn_adversary, churn_rng, &composed,
+          cfg.audit ? &fast_dig : nullptr);
       if (overlay.num_alive() != epoch.n_after) {
         throw std::logic_error(
             "run_churn: mid-run replay diverged from trace n_after");
@@ -317,6 +361,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
 
       EpochStats stats;
       const NodeId n = fill_membership_stats(stats);
+      if (cfg.audit) stats.run_digest = fast_dig.trail().run_digest;
 
       stats.fresh =
           proto::summarize_accuracy(outcome.run, n, cfg.band_lo, cfg.band_hi);
@@ -344,6 +389,22 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
           outcome.stats.rows_recomputed + outcome.stats.warm_rows_recomputed;
       if (engine_outcome) {
         stats.engine_match = *engine_outcome == outcome;
+        if (cfg.audit) {
+          // The two tiers execute the identical schedule, so their trails
+          // must match entry for entry — a trail-only divergence is a bug
+          // the outcome comparison was not sharp enough to see.
+          const auto div =
+              obs::first_divergence(fast_dig.trail(), engine_dig.trail());
+          if (!stats.engine_match || div.diverged()) {
+            stats.forensics_path = emit_forensics(
+                cfg, e, "engine_oracle",
+                stats.engine_match
+                    ? "digest trails diverged (outcomes identical)"
+                    : "mid-run engine outcome diverged from fastpath",
+                "fastpath", "engine", fast_dig, engine_dig, &fast_rec,
+                &engine_rec);
+          }
+        }
       }
       if (cold_outcome) {
         stats.messages_cold = cold_outcome->run.instr.total_messages();
@@ -351,9 +412,20 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
           // Exact tier: the equivalence contract is bitwise.
           if (cold_outcome->run.status != outcome.run.status ||
               cold_outcome->run.estimate != outcome.run.estimate) {
+            // Warm and cold trails legitimately differ in shape (lazy
+            // subphases, warm-row notes), so the trails are EVIDENCE here
+            // — the headline stays the decision mismatch.
+            const std::string report = cfg.audit
+                ? emit_forensics(cfg, e, "verify_warm",
+                                 "warm mid-run decisions diverged from the "
+                                 "cold replay",
+                                 "warm", "cold-shadow", fast_dig, cold_dig,
+                                 &fast_rec, &cold_rec)
+                : std::string{};
             throw std::logic_error(
                 "run_churn: warm mid-run decisions diverged from the cold "
-                "replay at epoch " + std::to_string(e));
+                "replay at epoch " + std::to_string(e) +
+                (report.empty() ? "" : " (forensics: " + report + ")"));
           }
         } else {
           // ε-warm tier: divergence is allowed but must stay within the
@@ -367,11 +439,19 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
           }
           stats.eps_divergent = divergent;
           if (divergent > eps_plan.budget_nodes) {
+            const std::string report = cfg.audit
+                ? emit_forensics(cfg, e, "verify_warm",
+                                 "eps-warm mid-run divergence exceeded the "
+                                 "ε·n budget",
+                                 "eps-warm", "cold-shadow", fast_dig,
+                                 cold_dig, &fast_rec, &cold_rec)
+                : std::string{};
             throw std::logic_error(
                 "run_churn: eps-warm mid-run divergence " +
                 std::to_string(divergent) + " exceeds the ε·n budget " +
                 std::to_string(eps_plan.budget_nodes) + " at epoch " +
-                std::to_string(e));
+                std::to_string(e) +
+                (report.empty() ? "" : " (forensics: " + report + ")"));
           }
         }
       }
@@ -429,6 +509,16 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         util::mix_seed(cfg.seed, kColorStream + e);
     auto strategy = adv::make_strategy(cfg.strategy);
 
+    // Divergence audit (snapshot path): the epoch's run, the verify_warm
+    // cold shadow, and the engine oracle each record a trail.
+    obs::FlightRecorder run_rec, cold_rec, engine_rec;
+    obs::RunDigester run_dig, cold_dig, engine_dig;
+    if (cfg.audit) {
+      run_dig.attach_recorder(&run_rec);
+      cold_dig.attach_recorder(&cold_rec);
+      engine_dig.attach_recorder(&engine_rec);
+    }
+
     proto::RunResult run;
     proto::RunResult cold;
     bool have_cold = false;
@@ -449,7 +539,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       auto warm = proto::run_counting_warm(
           snap.overlay, dense_byz, *strategy, cfg.protocol, color_seed,
           snap.dense_to_stable, inc->last_dirty(), acc_drift, warm_cfg,
-          warm_state);
+          warm_state, cfg.audit ? &run_dig : nullptr);
       run = std::move(warm.run);
       stats.warm_used = warm.warm_used;
       stats.verify_rows_reused = warm.rows_reused;
@@ -460,16 +550,29 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       stats.eps_skipped_subphases = warm.eps_skipped_subphases;
       if (inc_cfg.verify_warm) {
         auto cold_strategy = adv::make_strategy(cfg.strategy);
-        cold = proto::run_counting(snap.overlay, dense_byz, *cold_strategy,
-                                   cfg.protocol, color_seed);
+        proto::RunControls cold_rc;
+        cold_rc.digester = cfg.audit ? &cold_dig : nullptr;
+        cold = proto::run_counting_with(snap.overlay, dense_byz,
+                                        *cold_strategy, cfg.protocol,
+                                        color_seed, cold_rc);
         have_cold = true;
         stats.messages_cold = cold.instr.total_messages();
         if (!warm.eps_used) {
-          // Exact tier: the equivalence contract is bitwise.
+          // Exact tier: the equivalence contract is bitwise. Warm and cold
+          // trails legitimately differ in shape (lazy subphases), so the
+          // forensics here are evidence attached to the decision mismatch.
           if (cold.status != run.status || cold.estimate != run.estimate) {
+            const std::string report = cfg.audit
+                ? emit_forensics(cfg, e, "verify_warm",
+                                 "warm-started decisions diverged from the "
+                                 "cold run",
+                                 "warm", "cold-shadow", run_dig, cold_dig,
+                                 &run_rec, &cold_rec)
+                : std::string{};
             throw std::logic_error(
                 "run_churn: warm-started decisions diverged from the cold "
-                "run at epoch " + std::to_string(e));
+                "run at epoch " + std::to_string(e) +
+                (report.empty() ? "" : " (forensics: " + report + ")"));
           }
         } else {
           // ε-warm tier: divergence is allowed but must stay within the
@@ -483,19 +586,30 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
           }
           stats.eps_divergent = divergent;
           if (divergent > warm.eps_budget_nodes) {
+            const std::string report = cfg.audit
+                ? emit_forensics(cfg, e, "verify_warm",
+                                 "eps-warm divergence exceeded the ε·n "
+                                 "budget",
+                                 "eps-warm", "cold-shadow", run_dig, cold_dig,
+                                 &run_rec, &cold_rec)
+                : std::string{};
             throw std::logic_error(
                 "run_churn: eps-warm divergence " + std::to_string(divergent) +
                 " exceeds the ε·n budget " +
                 std::to_string(warm.eps_budget_nodes) + " at epoch " +
-                std::to_string(e));
+                std::to_string(e) +
+                (report.empty() ? "" : " (forensics: " + report + ")"));
           }
         }
       }
     } else {
-      run = proto::run_counting(snap.overlay, dense_byz, *strategy,
-                                cfg.protocol, color_seed);
+      proto::RunControls run_rc;
+      run_rc.digester = cfg.audit ? &run_dig : nullptr;
+      run = proto::run_counting_with(snap.overlay, dense_byz, *strategy,
+                                     cfg.protocol, color_seed, run_rc);
     }
 
+    if (cfg.audit) stats.run_digest = run_dig.trail().run_digest;
     stats.fresh = proto::summarize_accuracy(run, n, cfg.band_lo, cfg.band_hi);
     stats.messages = run.instr.total_messages();
     stats.subphases_scheduled = run.subphases_scheduled;
@@ -504,11 +618,30 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     if (cfg.run_engine) {
       auto strategy2 = adv::make_strategy(cfg.strategy);
       sim::Engine engine(snap.overlay, dense_byz, *strategy2, cfg.protocol,
-                         color_seed);
+                         color_seed, nullptr, 1,
+                         cfg.audit ? &engine_dig : nullptr);
       // Warm runs skip flood traffic by design; the Engine's full-fidelity
       // accounting is compared against the cold tier (verify_warm is
       // enforced above whenever warm_start is on).
       stats.engine_match = same_outcome(have_cold ? cold : run, engine.run());
+      if (cfg.audit) {
+        // The engine and its comparison partner (the cold run, or the
+        // epoch's plain run when no warm tier is on) execute identical
+        // schedules, so their trails must match entry for entry.
+        const obs::RunDigester& ref = have_cold ? cold_dig : run_dig;
+        const obs::FlightRecorder& ref_rec = have_cold ? cold_rec : run_rec;
+        const auto div =
+            obs::first_divergence(ref.trail(), engine_dig.trail());
+        if (!stats.engine_match || div.diverged()) {
+          stats.forensics_path = emit_forensics(
+              cfg, e, "engine_oracle",
+              stats.engine_match
+                  ? "digest trails diverged (outcomes identical)"
+                  : "engine outcome diverged from the fastpath",
+              have_cold ? "cold-shadow" : "fastpath", "engine", ref,
+              engine_dig, &ref_rec, &engine_rec);
+        }
+      }
     }
 
     for (NodeId i = 0; i < n; ++i) {

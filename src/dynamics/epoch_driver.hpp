@@ -141,6 +141,16 @@ struct ChurnRunConfig {
         adv::MidRunScheduleStrategy::kUniform;
   };
   MidRunMode mid_run;
+  /// Divergence-forensics audit (obs/digest.hpp): digest every execution
+  /// at this driver's oracle seams — the per-epoch engine oracle and the
+  /// verify_warm cold shadow — and render a byzobs/forensics/v1 report on
+  /// any divergence, BEFORE the failure is recorded or thrown. Pure
+  /// read-side: outcomes and every EpochStats counter are bitwise
+  /// unaffected (only forensics_path, an audit-only field, is set).
+  bool audit = false;
+  /// Directory forensic reports are written to ("" = render-only; the
+  /// report text still reaches thrown exception messages via its path).
+  std::string audit_dir;
 };
 
 struct EpochStats {
@@ -185,6 +195,16 @@ struct EpochStats {
   std::uint64_t midrun_verifier_refreshes = 0;
   std::uint64_t midrun_frontier_leaves = 0; ///< departures that struck the
                                             ///< observed flood wavefront
+  // --- divergence audit (ChurnRunConfig::audit only) ---
+  /// Path of the forensics report written for this epoch's engine-oracle
+  /// divergence ("" = no divergence, no audit, or no audit_dir). The
+  /// verify_warm seam throws instead and embeds its report path in the
+  /// exception message.
+  std::string forensics_path;
+  /// Closed run-level digest of this epoch's estimation run (0 when audit
+  /// is off, the epoch was skipped, or the obs layer is compiled out).
+  /// Scenarios fold these into DIGEST_<exp>.json sidecars.
+  std::uint64_t run_digest = 0;
 };
 
 struct ChurnRunResult {

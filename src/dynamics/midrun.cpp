@@ -76,7 +76,8 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
                                  proto::VerificationConfig verification,
                                  adv::ChurnAdversary adversary,
                                  util::Xoshiro256& rng,
-                                 const MidRunComposed* composed)
+                                 const MidRunComposed* composed,
+                                 obs::RunDigester* digester)
     : overlay_(&overlay),
       stable_byz_(&stable_byz),
       schedule_(std::move(schedule)),
@@ -84,7 +85,8 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
       verification_(verification),
       adversary_(adversary),
       rng_(&rng),
-      composed_(composed) {
+      composed_(composed),
+      digester_(digester) {
   if (stable_byz.size() != overlay.id_bound()) {
     throw std::invalid_argument("LiveOverlayFeed: stable mask size mismatch");
   }
@@ -183,6 +185,10 @@ LiveOverlayFeed::LiveOverlayFeed(MutableOverlay& overlay,
         std::span<const std::uint8_t>(chains_.data(), n0_));
   }
   verifier_.emplace(snap.overlay, run_byz_, verification_, rows_, chains_);
+  if (digester_ != nullptr && warm != nullptr) {
+    digester_->note(obs::FlightEventKind::kWarmRowReuse,
+                    stats_.warm_rows_reused, stats_.warm_rows_recomputed);
+  }
 }
 
 void LiveOverlayFeed::begin_round(const proto::RoundClock& clock,
@@ -218,6 +224,9 @@ void LiveOverlayFeed::apply_event(const MidRunEvent& event) {
       if (!apply_leave()) {
         deferred_.push_back(event);
         ++stats_.events_deferred;
+        if (digester_ != nullptr) {
+          digester_->note(obs::FlightEventKind::kLeave, 0, /*deferred=*/1);
+        }
       }
       return;
   }
@@ -244,6 +253,14 @@ void LiveOverlayFeed::apply_join(bool byzantine) {
   stable_to_run_[stable] = run_id;
   run_to_stable_[run_id] = stable;
   ++stats_.joins;
+  // Membership evidence for forensics: fold the splice into the open round
+  // digest (both tiers apply events inside the same begin_round) and leave
+  // a flight event. Folds after close_run (the post-run flush) land in an
+  // accumulator that is never read — identically in both tiers.
+  if (digester_ != nullptr) {
+    digester_->fold_round(obs::digest_member_term(run_id, 1));
+    digester_->note(obs::FlightEventKind::kJoin, stable, run_id);
+  }
 
   if (config_.policy == proto::MembershipPolicy::kTreatAsSilent) {
     // Invisible to the in-flight run: stays !alive, frozen adjacency.
@@ -290,6 +307,10 @@ bool LiveOverlayFeed::apply_leave() {
   alive_[run_id] = 0;
   departed_[run_id] = 1;
   ++stats_.leaves;
+  if (digester_ != nullptr) {
+    digester_->fold_round(obs::digest_member_term(run_id, 2));
+    digester_->note(obs::FlightEventKind::kLeave, run_id, 0);
+  }
   // A joiner that departs before its admission boundary was never a
   // participant: drop it from the pending list so the admitted stats
   // count only nodes that actually became generators.
@@ -447,20 +468,25 @@ MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
                               const MidRunConfig& config,
                               adv::ChurnAdversary adversary,
                               util::Xoshiro256& rng, bool use_engine,
-                              const MidRunComposed* composed) {
+                              const MidRunComposed* composed,
+                              obs::RunDigester* digester) {
   LiveOverlayFeed feed(overlay, stable_byz, schedule, config,
-                       cfg.verification, adversary, rng, composed);
+                       cfg.verification, adversary, rng, composed, digester);
   const std::uint32_t start_phase =
       composed != nullptr ? composed->start_phase : 1;
+  if (digester != nullptr && start_phase > 1) {
+    digester->note(obs::FlightEventKind::kEpsEntry, start_phase, 0);
+  }
   MidRunOutcome out;
   if (use_engine) {
     sim::Engine engine(feed.snapshot_overlay(), feed.run_byz(), strategy, cfg,
-                       color_seed, &feed, start_phase);
+                       color_seed, &feed, start_phase, digester);
     out.run = engine.run();
   } else {
     proto::RunControls controls;
     controls.midrun = &feed;
     controls.start_phase = start_phase;
+    controls.digester = digester;
     out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
                                        strategy, cfg, color_seed, controls);
   }
@@ -494,10 +520,11 @@ MidRunOutcome run_counting_midrun(MutableOverlay& overlay,
                                   const MidRunConfig& config,
                                   adv::ChurnAdversary adversary,
                                   util::Xoshiro256& rng,
-                                  const MidRunComposed* composed) {
+                                  const MidRunComposed* composed,
+                                  obs::RunDigester* digester) {
   return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
                          schedule, config, adversary, rng,
-                         /*use_engine=*/false, composed);
+                         /*use_engine=*/false, composed, digester);
 }
 
 MidRunOutcome run_counting_midrun_engine(MutableOverlay& overlay,
@@ -509,10 +536,11 @@ MidRunOutcome run_counting_midrun_engine(MutableOverlay& overlay,
                                          const MidRunConfig& config,
                                          adv::ChurnAdversary adversary,
                                          util::Xoshiro256& rng,
-                                         const MidRunComposed* composed) {
+                                         const MidRunComposed* composed,
+                                         obs::RunDigester* digester) {
   return run_midrun_tier(overlay, stable_byz, strategy, cfg, color_seed,
                          schedule, config, adversary, rng,
-                         /*use_engine=*/true, composed);
+                         /*use_engine=*/true, composed, digester);
 }
 
 MidRunTierComparison compare_midrun_tiers(const MutableOverlay& overlay,
@@ -523,17 +551,34 @@ MidRunTierComparison compare_midrun_tiers(const MutableOverlay& overlay,
                                           const ChurnSchedule& schedule,
                                           const MidRunConfig& config,
                                           adv::ChurnAdversary adversary,
-                                          const util::Xoshiro256& rng) {
+                                          const util::Xoshiro256& rng,
+                                          const obs::AuditConfig* audit) {
   MidRunTierComparison cmp;
+  obs::FlightRecorder fast_recorder;
+  obs::FlightRecorder engine_recorder;
+  obs::RunDigester fast_digester;
+  obs::RunDigester engine_digester;
+  if (audit != nullptr) {
+    fast_digester.attach_recorder(&fast_recorder);
+    engine_digester.attach_recorder(&engine_recorder);
+    if (audit->perturb_tier == 0) {
+      fast_digester.set_perturbation(audit->perturb_round,
+                                     audit->perturb_mask);
+    } else if (audit->perturb_tier == 1) {
+      engine_digester.set_perturbation(audit->perturb_round,
+                                       audit->perturb_mask);
+    }
+  }
   {
     MutableOverlay fast_overlay = overlay;
     fast_overlay.set_observer(nullptr);
     std::vector<bool> fast_byz = stable_byz;
     util::Xoshiro256 fast_rng = rng;
     auto fast_strategy = adv::make_strategy(strategy);
-    cmp.fastpath =
-        run_counting_midrun(fast_overlay, fast_byz, *fast_strategy, cfg,
-                            color_seed, schedule, config, adversary, fast_rng);
+    cmp.fastpath = run_counting_midrun(
+        fast_overlay, fast_byz, *fast_strategy, cfg, color_seed, schedule,
+        config, adversary, fast_rng, nullptr,
+        audit != nullptr ? &fast_digester : nullptr);
   }
   {
     MutableOverlay engine_overlay = overlay;
@@ -541,12 +586,42 @@ MidRunTierComparison compare_midrun_tiers(const MutableOverlay& overlay,
     std::vector<bool> engine_byz = stable_byz;
     util::Xoshiro256 engine_rng = rng;
     auto engine_strategy = adv::make_strategy(strategy);
-    cmp.engine = run_counting_midrun_engine(engine_overlay, engine_byz,
-                                            *engine_strategy, cfg, color_seed,
-                                            schedule, config, adversary,
-                                            engine_rng);
+    cmp.engine = run_counting_midrun_engine(
+        engine_overlay, engine_byz, *engine_strategy, cfg, color_seed,
+        schedule, config, adversary, engine_rng, nullptr,
+        audit != nullptr ? &engine_digester : nullptr);
   }
   cmp.identical = cmp.fastpath == cmp.engine;
+  if (audit != nullptr) {
+    const obs::DigestTrail& fast_trail = fast_digester.trail();
+    const obs::DigestTrail& engine_trail = engine_digester.trail();
+    const obs::DigestDivergence div =
+        obs::first_divergence(fast_trail, engine_trail);
+    cmp.run_digest_fastpath = fast_trail.run_digest;
+    cmp.run_digest_engine = engine_trail.run_digest;
+    cmp.digests_identical = !div.diverged();
+    if (!cmp.identical || div.diverged()) {
+      obs::ForensicsInfo info;
+      info.scenario = audit->scenario;
+      info.seed = audit->seed;
+      info.flags = audit->flags;
+      info.detail = cmp.identical
+                        ? "digest trails diverged (outcomes identical)"
+                        : "mid-run tier outcomes diverged";
+      cmp.forensics = obs::forensics_json(info, fast_trail, engine_trail,
+                                          &fast_recorder, &engine_recorder);
+      if (!audit->out_dir.empty()) {
+        const std::string path =
+            audit->out_dir + "/forensics_" +
+            (audit->scenario.empty() ? std::string("midrun")
+                                     : audit->scenario) +
+            "_" + std::to_string(audit->seed) + ".json";
+        if (obs::write_forensics_file(path, cmp.forensics)) {
+          cmp.forensics_path = path;
+        }
+      }
+    }
+  }
   return cmp;
 }
 

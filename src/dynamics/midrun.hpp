@@ -73,6 +73,7 @@
 #include "dynamics/churn_schedule.hpp"
 #include "dynamics/churn_trace.hpp"
 #include "dynamics/mutable_overlay.hpp"
+#include "obs/digest.hpp"
 #include "protocols/fastpath.hpp"
 #include "protocols/midrun.hpp"
 #include "protocols/warm_start.hpp"
@@ -163,11 +164,15 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
  public:
   /// `composed` (optional, must outlive the feed) threads the incremental
   /// snapshot and the warm verifier-row cache in — see MidRunComposed.
+  /// `digester` (optional; same instance the run itself is handed) lets
+  /// the feed fold membership changes into the current round digest and
+  /// record join/leave/warm-row flight events. Pure read-side.
   LiveOverlayFeed(MutableOverlay& overlay, std::vector<bool>& stable_byz,
                   ChurnSchedule schedule, const MidRunConfig& config,
                   proto::VerificationConfig verification,
                   adv::ChurnAdversary adversary, util::Xoshiro256& rng,
-                  const MidRunComposed* composed = nullptr);
+                  const MidRunComposed* composed = nullptr,
+                  obs::RunDigester* digester = nullptr);
 
   // proto::MidRunHooks
   [[nodiscard]] graph::NodeId node_bound() const override { return nb_; }
@@ -231,6 +236,7 @@ class LiveOverlayFeed final : public proto::MidRunHooks {
   adv::ChurnAdversary adversary_;
   util::Xoshiro256* rng_;
   const MidRunComposed* composed_;
+  obs::RunDigester* digester_;
 
   MidRunStats stats_;
   graph::NodeId n0_ = 0;  ///< snapshot size (run ids < n0_ are members)
@@ -288,7 +294,8 @@ struct MidRunOutcome {
     adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
-    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr);
+    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr,
+    obs::RunDigester* digester = nullptr);
 
 /// The same run executed by the message-level sim::Engine instead of the
 /// array fast path — identical feed, identical rng/byz evolution, and (the
@@ -301,7 +308,8 @@ struct MidRunOutcome {
     adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
-    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr);
+    util::Xoshiro256& rng, const MidRunComposed* composed = nullptr,
+    obs::RunDigester* digester = nullptr);
 
 struct MidRunTierComparison {
   MidRunOutcome fastpath;
@@ -311,17 +319,32 @@ struct MidRunTierComparison {
   /// counter), the run→stable map, the Byzantine mask evolution, and the
   /// mid-run event bookkeeping.
   bool identical = false;
+  // Audit mode only (compare_midrun_tiers called with an AuditConfig):
+  // run-level digests of each tier, whether the two hierarchical trails
+  // matched entry for entry, and — on any divergence, outcome or trail —
+  // the rendered byzobs/forensics/v1 report plus the path it was written
+  // to (empty if AuditConfig::out_dir was empty or the write failed).
+  std::uint64_t run_digest_fastpath = 0;
+  std::uint64_t run_digest_engine = 0;
+  bool digests_identical = true;
+  std::string forensics;
+  std::string forensics_path;
 };
 
 /// Runs BOTH tiers from the identical initial state — each on its own
 /// copy of (overlay, byz mask, churn rng), with a fresh strategy instance
 /// per tier — and compares the outcomes bitwise. The inputs are left
-/// untouched; this is the mid-run equivalence oracle E26 sweeps.
+/// untouched; this is the mid-run equivalence oracle E26 sweeps. With
+/// `audit` attached both tiers also record hierarchical digest trails and
+/// flight events, the trails are compared, and a forensics report is
+/// emitted on any divergence (see MidRunTierComparison's audit fields) —
+/// the outcomes themselves are bitwise unaffected (digesting is pure
+/// read-side).
 [[nodiscard]] MidRunTierComparison compare_midrun_tiers(
     const MutableOverlay& overlay, const std::vector<bool>& stable_byz,
     adv::StrategyKind strategy, const proto::ProtocolConfig& cfg,
     std::uint64_t color_seed, const ChurnSchedule& schedule,
     const MidRunConfig& config, adv::ChurnAdversary adversary,
-    const util::Xoshiro256& rng);
+    const util::Xoshiro256& rng, const obs::AuditConfig* audit = nullptr);
 
 }  // namespace byz::dynamics

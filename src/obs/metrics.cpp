@@ -231,6 +231,29 @@ MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
   return out;
 }
 
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(h.count);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(h.buckets[b]);
+    if (cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    if (b == 0) return 0.0;  // bucket 0 holds exact zeros
+    // Linear interpolation across the bucket's value range.
+    const double lo = static_cast<double>(std::uint64_t{1} << (b - 1));
+    const double hi = b >= 63 ? 2.0 * lo : lo * 2.0 - 1.0;
+    const double frac = in_bucket > 0.0 ? (target - cum) / in_bucket : 0.0;
+    return lo + (hi - lo) * frac;
+  }
+  return 0.0;
+}
+
 std::string metrics_json(const MetricsSnapshot& snap) {
   std::string out;
   out += "{\n  \"schema\": \"byzobs/metrics/v1\",\n  \"counters\": {";
@@ -257,6 +280,12 @@ std::string metrics_json(const MetricsSnapshot& snap) {
     detail::append_json_escaped(out, h.name);
     out += "\": {\"count\": " + std::to_string(h.count);
     out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"p50\": ";
+    detail::append_json_double(out, histogram_quantile(h, 0.50));
+    out += ", \"p95\": ";
+    detail::append_json_double(out, histogram_quantile(h, 0.95));
+    out += ", \"p99\": ";
+    detail::append_json_double(out, histogram_quantile(h, 0.99));
     out += ", \"buckets\": [";
     bool first = true;
     for (std::size_t b = 0; b < kHistogramBuckets; ++b) {

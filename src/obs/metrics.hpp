@@ -109,7 +109,14 @@ struct MetricsSnapshot {
 [[nodiscard]] MetricsSnapshot metrics_delta(const MetricsSnapshot& before,
                                             const MetricsSnapshot& after);
 
-/// byzobs/metrics/v1 JSON document for a snapshot.
+/// Quantile estimate from the log2 buckets: walks the cumulative counts to
+/// the bucket holding rank q*count and interpolates linearly inside its
+/// [2^(b-1), 2^b - 1] value range. Exact for bucket 0 (zeros); elsewhere
+/// the error is bounded by the bucket width. 0 when the histogram is empty.
+[[nodiscard]] double histogram_quantile(const HistogramSnapshot& h, double q);
+
+/// byzobs/metrics/v1 JSON document for a snapshot. Histograms carry p50 /
+/// p95 / p99 estimates (histogram_quantile) alongside the raw buckets.
 [[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap);
 
 /// Writes metrics_json(metrics_snapshot()) to `path`. False on I/O error.

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/digest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocols/color.hpp"
@@ -153,6 +154,7 @@ RunResult run_counting_with(const graph::Overlay& overlay,
           ? rounds_through_phase(controls.start_phase - 1, d, cfg.schedule)
           : 0;
 
+  obs::RunDigester* const dg = controls.digester;
   std::uint32_t phase = controls.start_phase - 1;
   while (phase < max_phase && active_count > 0) {
     ++phase;
@@ -173,6 +175,12 @@ RunResult run_counting_with(const graph::Overlay& overlay,
           ++active_count;
         }
       }
+    }
+    if (dg != nullptr) {
+      dg->begin_phase(phase);
+      dg->note(obs::FlightEventKind::kPhaseBegin, active_count,
+               admitted.size());
+      digest_phase_state(*dg, *verifier, result.status, result.estimate, nb);
     }
     const std::uint32_t subphases = subphases_in_phase(phase, d, cfg.schedule);
     std::fill(fired.begin(), fired.end(), false);
@@ -249,12 +257,22 @@ RunResult run_counting_with(const graph::Overlay& overlay,
         params.live = midrun;
         params.clock = {phase, j, 1, global_round};
       }
+      if (dg != nullptr) {
+        dg->begin_subphase(j);
+        params.digest = dg;
+      }
       run_flood_subphase(overlay, byz_mask, crashed, *verifier, params, gen,
                          injections, ws, result.instr);
       global_round += phase;
       ++result.subphases_executed;
       sub_span.arg("focused", focused ? 1 : 0);
-      if (focused) obs_straggler_floods.add(1);
+      if (focused) {
+        obs_straggler_floods.add(1);
+        if (dg != nullptr) {
+          dg->note(obs::FlightEventKind::kStragglerFlood, unfired_list.size(),
+                   phase);
+        }
+      }
 
       // Line 18: the phase "continues" for v if the final-step max strictly
       // beats every earlier step AND clears the threshold, in ANY subphase.
@@ -272,6 +290,12 @@ RunResult run_counting_with(const graph::Overlay& overlay,
         }
       }
       sub_span.arg("unfired", unfired_list.size());
+      if (dg != nullptr) {
+        for (NodeId v = 0; v < nb; ++v) {
+          if (fired[v]) dg->fold_subphase(obs::digest_state_term(v, 1));
+        }
+        dg->close_subphase();
+      }
       // Lazy evaluation, stage 1: once every active node has fired, the
       // remaining subphases cannot change any decision (fired is monotone
       // and the only cross-subphase state) — to the cold tier they are
@@ -294,6 +318,7 @@ RunResult run_counting_with(const graph::Overlay& overlay,
         if (result.status[v] != NodeStatus::kByzantine) {
           result.status[v] = NodeStatus::kDeparted;
           result.estimate[v] = 0;
+          if (dg != nullptr) dg->fold_phase(obs::digest_state_term(v, 0xDE9));
         }
       }
     }
@@ -307,7 +332,12 @@ RunResult run_counting_with(const graph::Overlay& overlay,
         result.status[v] = NodeStatus::kDecided;
         result.estimate[v] = phase;
         ++decided_now;
+        if (dg != nullptr) dg->fold_phase(obs::digest_state_term(v, phase));
       }
+    }
+    if (dg != nullptr) {
+      dg->fold_phase(obs::mix2(decided_now, active_count));
+      dg->close_phase();
     }
     BYZ_TRACE << "phase " << phase << ": " << subphases << " subphases, "
               << decided_now << " nodes decided (estimate=" << phase << "), "
@@ -316,8 +346,34 @@ RunResult run_counting_with(const graph::Overlay& overlay,
   }
   result.phases_executed = phase;
   result.flood_rounds = result.instr.flood_rounds;
+  if (dg != nullptr) {
+    for (NodeId v = 0; v < nb; ++v) {
+      dg->fold_run(obs::digest_state_term(
+          v, (static_cast<std::uint64_t>(result.status[v]) << 32) |
+                 result.estimate[v]));
+    }
+    dg->close_run();
+  }
   run_span.arg("phases", phase).arg("rounds", result.instr.flood_rounds);
   return result;
+}
+
+void digest_phase_state(obs::RunDigester& digester, const Verifier& verifier,
+                        std::span<const NodeStatus> status,
+                        std::span<const std::uint32_t> estimate,
+                        NodeId id_bound) {
+  for (NodeId v = 0; v < id_bound; ++v) {
+    digester.fold_phase(obs::digest_state_term(
+        v, (static_cast<std::uint64_t>(status[v]) << 32) | estimate[v]));
+  }
+  for (NodeId v = 0; v < id_bound; ++v) {
+    std::uint64_t row = 0;
+    for (const std::uint32_t count : verifier.ball_row(v)) {
+      row = obs::mix2(row, count);
+    }
+    digester.fold_phase(
+        obs::digest_state_term(v, obs::mix2(row, verifier.usable_chain(v))));
+  }
 }
 
 RunResult run_basic_counting(const graph::Overlay& overlay,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "adversary/strategies.hpp"
@@ -14,6 +15,10 @@
 #include "protocols/midrun.hpp"
 #include "protocols/schedule.hpp"
 #include "protocols/verification.hpp"
+
+namespace byz::obs {
+class RunDigester;
+}  // namespace byz::obs
 
 namespace byz::proto {
 
@@ -87,6 +92,12 @@ struct RunControls {
   /// first round — the ε-warm × mid-run composition the epoch driver
   /// runs. Null = static run.
   MidRunHooks* midrun = nullptr;
+  /// Divergence-forensics digester (obs/digest.hpp): when attached the run
+  /// folds a hierarchical digest trail (round -> subphase -> phase -> run)
+  /// at the same semantic points the message-level engine does, so two
+  /// trails localize the first divergent round. Pure read-side; null = no
+  /// digesting (the default).
+  obs::RunDigester* digester = nullptr;
 };
 
 /// run_counting with explicit controls; run_counting == default controls.
@@ -96,6 +107,16 @@ struct RunControls {
                                           const ProtocolConfig& cfg,
                                           std::uint64_t color_seed,
                                           const RunControls& controls);
+
+/// Folds the phase-begin protocol state into the digester's open phase
+/// accumulator: per-node status/estimate, then the phase verifier's ball
+/// rows and usable-chain lengths over ids [0, id_bound). Both execution
+/// tiers call this at the same semantic point — right after the phase's
+/// verifier is resolved — so the per-phase digests are comparable.
+void digest_phase_state(obs::RunDigester& digester, const Verifier& verifier,
+                        std::span<const NodeStatus> status,
+                        std::span<const std::uint32_t> estimate,
+                        graph::NodeId id_bound);
 
 /// Algorithm 1 with no Byzantine nodes at all (§3.1's exposition setting).
 [[nodiscard]] RunResult run_basic_counting(const graph::Overlay& overlay,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/digest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -142,6 +143,9 @@ void run_flood_subphase(const graph::Overlay& overlay,
       instr.max_node_round_sends =
           std::max<std::uint64_t>(instr.max_node_round_sends, nbrs.size());
       const Color c = ws.known[u];
+      if (params.digest != nullptr) {
+        params.digest->fold_round(obs::digest_sender_term(u, c));
+      }
       for (const NodeId v : nbrs) deliver(v, u, c, /*verify=*/true);
     }
     // Byzantine injections scheduled for this step.
@@ -162,6 +166,12 @@ void run_flood_subphase(const graph::Overlay& overlay,
     for (const NodeId v : ws.touched) {
       const Color r = ws.recv[v];
       ws.recv[v] = 0;
+      // The commutative XOR fold makes the digest independent of touched-
+      // list order; the engine folds the same (receiver, max) set walking
+      // node ids ascending.
+      if (params.digest != nullptr) {
+        params.digest->fold_round(obs::digest_receiver_term(v, r));
+      }
       if (t < params.steps) {
         ws.best_before[v] = std::max(ws.best_before[v], r);
       } else {
@@ -174,6 +184,9 @@ void run_flood_subphase(const graph::Overlay& overlay,
       }
     }
     ws.frontier.swap(ws.next_frontier);
+    if (params.digest != nullptr) {
+      params.digest->close_round(instr.token_messages - round_tokens_before);
+    }
     round_span.arg("tokens", instr.token_messages - round_tokens_before);
   }
   instr.flood_rounds += params.steps;

@@ -38,6 +38,10 @@
 #include "protocols/verification.hpp"
 #include "sim/instrumentation.hpp"
 
+namespace byz::obs {
+class RunDigester;
+}  // namespace byz::obs
+
 namespace byz::proto {
 
 /// One Byzantine token emission: node `from` sends `value` to its
@@ -86,6 +90,11 @@ struct FloodParams {
   /// per flood step and hands the result to live->begin_round(). Ignored
   /// when live is null.
   RoundClock clock;
+  /// Divergence-forensics digester (obs/digest.hpp). When attached the
+  /// kernel folds each round's conformant senders and accepted receivers
+  /// and closes one round digest per flood step. Null = no digesting
+  /// (the default; pure read-side either way).
+  obs::RunDigester* digest = nullptr;
 };
 
 /// Runs one subphase. `gen_color[v]` is v's generated color (0 = does not

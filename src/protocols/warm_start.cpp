@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/digest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "protocols/refine.hpp"
@@ -158,7 +159,7 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
                           std::span<const NodeId> dense_to_stable,
                           std::span<const std::uint8_t> dirty_stable,
                           double drift, const WarmConfig& warm_cfg,
-                          WarmState& state) {
+                          WarmState& state, obs::RunDigester* digester) {
   const NodeId n = overlay.num_nodes();
   const std::uint32_t k = overlay.k();
   if (dense_to_stable.size() != n) {
@@ -230,6 +231,11 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   RunControls controls;
   controls.lazy_subphases = !cold;
   controls.verifier = &verifier;
+  controls.digester = digester;
+  if (digester != nullptr) {
+    digester->note(obs::FlightEventKind::kWarmRowReuse, out.rows_reused,
+                   out.rows_recomputed);
+  }
   // ε-warm phase skip (choose_eps_entry has the entry rule; cold fallbacks
   // and first-ever runs never skip but still report the budget).
   if (warm_cfg.eps_phase_skip) {
@@ -242,6 +248,10 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
       out.eps_entry_phase = plan.entry_phase;
       out.eps_skipped_subphases = plan.skipped_subphases;
       controls.start_phase = plan.entry_phase;
+      if (digester != nullptr) {
+        digester->note(obs::FlightEventKind::kEpsEntry, plan.entry_phase,
+                       plan.skipped_subphases);
+      }
     }
   }
   out.run = run_counting_with(overlay, byz_mask, strategy, cfg, color_seed,

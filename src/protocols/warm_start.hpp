@@ -129,13 +129,17 @@ struct WarmRun {
 /// have changed since the run that produced `state` (ids past its end are
 /// clean; an empty span = nothing changed). `drift` is the accumulated
 /// membership drift since that run. Updates `state` to this run's outcome
-/// on both the warm and the cold path.
+/// on both the warm and the cold path. `digester` attaches divergence
+/// forensics (obs/digest.hpp): the run's digest trail plus flight-recorder
+/// notes for warm-row reuse and the ε-entry decision; pure read-side, the
+/// run outcome is bitwise unaffected.
 [[nodiscard]] WarmRun run_counting_warm(
     const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
     adv::Strategy& strategy, const ProtocolConfig& cfg,
     std::uint64_t color_seed, std::span<const graph::NodeId> dense_to_stable,
     std::span<const std::uint8_t> dirty_stable, double drift,
-    const WarmConfig& warm_cfg, WarmState& state);
+    const WarmConfig& warm_cfg, WarmState& state,
+    obs::RunDigester* digester = nullptr);
 
 // --- Shared warm-state plumbing ---------------------------------------
 //

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/digest.hpp"
 #include "obs/trace.hpp"
 #include "protocols/color.hpp"
 #include "protocols/neighborhood.hpp"
@@ -17,7 +18,7 @@ using proto::Color;
 Engine::Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
                adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
                std::uint64_t color_seed, proto::MidRunHooks* midrun,
-               std::uint32_t start_phase)
+               std::uint32_t start_phase, obs::RunDigester* digester)
     : overlay_(overlay),
       byz_(byz_mask),
       strategy_(strategy),
@@ -25,6 +26,7 @@ Engine::Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
       color_seed_(color_seed),
       midrun_(midrun),
       start_phase_(start_phase),
+      digester_(digester),
       nb_(midrun ? midrun->node_bound() : overlay.num_nodes()),
       world_(World::make(overlay, byz_mask, color_seed)) {
   if (nb_ < overlay.num_nodes() || byz_mask.size() != nb_) {
@@ -119,6 +121,13 @@ proto::RunResult Engine::run() {
         }
       }
     }
+    if (digester_ != nullptr) {
+      digester_->begin_phase(phase);
+      digester_->note(obs::FlightEventKind::kPhaseBegin, active_count_,
+                      admitted.size());
+      proto::digest_phase_state(*digester_, *verifier_, result_.status,
+                                result_.estimate, nb_);
+    }
     for (auto& m : nodes_) m.fired_this_phase = false;
     const std::uint32_t subphases =
         proto::subphases_in_phase(phase, d, cfg_.schedule);
@@ -144,21 +153,41 @@ proto::RunResult Engine::run() {
         if (result_.status[v] != proto::NodeStatus::kByzantine) {
           result_.status[v] = proto::NodeStatus::kDeparted;
           result_.estimate[v] = 0;
+          if (digester_ != nullptr) {
+            digester_->fold_phase(obs::digest_state_term(v, 0xDE9));
+          }
         }
       }
     }
 
+    std::uint64_t decided_now = 0;
     for (NodeId v = 0; v < nb_; ++v) {
       if (active_[v] == 0 || nodes_[v].fired_this_phase) continue;
       active_[v] = 0;
       --active_count_;
       result_.status[v] = proto::NodeStatus::kDecided;
       result_.estimate[v] = phase;
+      ++decided_now;
+      if (digester_ != nullptr) {
+        digester_->fold_phase(obs::digest_state_term(v, phase));
+      }
+    }
+    if (digester_ != nullptr) {
+      digester_->fold_phase(obs::mix2(decided_now, active_count_));
+      digester_->close_phase();
     }
     phase_span.arg("active_out", active_count_);
   }
   result_.phases_executed = phase;
   result_.flood_rounds = result_.instr.flood_rounds;
+  if (digester_ != nullptr) {
+    for (NodeId v = 0; v < nb_; ++v) {
+      digester_->fold_run(obs::digest_state_term(
+          v, (static_cast<std::uint64_t>(result_.status[v]) << 32) |
+                 result_.estimate[v]));
+    }
+    digester_->close_run();
+  }
   run_span.arg("phases", phase).arg("rounds", result_.instr.flood_rounds);
   return result_;
 }
@@ -186,6 +215,7 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
 
   obs::Span sub_span("engine.subphase");
   sub_span.arg("phase", phase).arg("j", j);
+  if (digester_ != nullptr) digester_->begin_subphase(j);
   std::vector<Color> recv(nb_, 0);
   for (std::uint32_t t = 1; t <= phase; ++t) {
     obs::Span round_span("engine.round");
@@ -220,6 +250,11 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
       if (!present(u)) continue;
       const bool sends = (t == 1) ? (m.own > 0) : (m.fresh_step == t - 1);
       if (!sends) continue;
+      // Same tagged term the kernel folds for its frontier senders; the
+      // sender sets and relayed maxima agree bitwise (E26).
+      if (digester_ != nullptr) {
+        digester_->fold_round(obs::digest_sender_term(u, m.known));
+      }
       const auto nbrs =
           midrun_ != nullptr ? midrun_->neighbors(u) : h.neighbors(u);
       result_.instr.count_token(nbrs.size());
@@ -267,6 +302,11 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
     // 3. Close the step.
     for (NodeId v = 0; v < nb_; ++v) {
       if (recv[v] == 0) continue;
+      // Ascending ids here, insertion order in the kernel: the XOR fold is
+      // commutative, so the round digests still match.
+      if (digester_ != nullptr) {
+        digester_->fold_round(obs::digest_receiver_term(v, recv[v]));
+      }
       auto& m = nodes_[v];
       if (t < phase) {
         m.best_before = std::max(m.best_before, recv[v]);
@@ -279,6 +319,7 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
       }
       recv[v] = 0;
     }
+    if (digester_ != nullptr) digester_->close_round(sent_this_round);
     round_messages_.push_back(sent_this_round);
     round_span.arg("tokens", sent_this_round);
   }
@@ -294,6 +335,14 @@ void Engine::run_subphase(std::uint32_t phase, std::uint32_t j,
         static_cast<double>(m.last_step) > threshold) {
       m.fired_this_phase = true;
     }
+  }
+  if (digester_ != nullptr) {
+    for (NodeId v = 0; v < nb_; ++v) {
+      if (nodes_[v].fired_this_phase) {
+        digester_->fold_subphase(obs::digest_state_term(v, 1));
+      }
+    }
+    digester_->close_subphase();
   }
 }
 

@@ -70,11 +70,15 @@ class Engine {
   /// path, unchanged. `start_phase` mirrors RunControls::start_phase (the
   /// ε-warm entry): the phase loop begins there and the global round clock
   /// is pre-advanced past the skipped prefix, keeping the churn schedule's
-  /// event→round mapping bitwise aligned with the fast path.
+  /// event→round mapping bitwise aligned with the fast path. `digester`
+  /// attaches divergence-forensics digesting (obs/digest.hpp) at the same
+  /// semantic points as RunControls::digester on the fast path, so the two
+  /// tiers' digest trails are comparable entry for entry.
   Engine(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
          adv::Strategy& strategy, const proto::ProtocolConfig& cfg,
          std::uint64_t color_seed, proto::MidRunHooks* midrun = nullptr,
-         std::uint32_t start_phase = 1);
+         std::uint32_t start_phase = 1,
+         obs::RunDigester* digester = nullptr);
 
   /// Executes setup + phases until all honest nodes decided/crashed or the
   /// phase cap is reached.
@@ -123,6 +127,7 @@ class Engine {
   std::uint64_t color_seed_;
   proto::MidRunHooks* midrun_;
   std::uint32_t start_phase_;
+  obs::RunDigester* digester_;
   graph::NodeId nb_;  ///< run id space: overlay n, or midrun node_bound()
   World world_;
   /// Static path: built once in the constructor. Mid-run path: handed out

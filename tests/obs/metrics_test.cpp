@@ -61,6 +61,33 @@ TEST(MetricsRegistry, HistogramBucketIsLog2) {
   EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
 }
 
+TEST(MetricsRegistry, QuantileWalksLog2Buckets) {
+  HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);  // empty
+  // 100 zeros: every quantile is exactly 0 (bucket 0 is exact).
+  h.count = 100;
+  h.buckets[0] = 100;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 0.0);
+  // 90 samples in [4, 7] and 10 in [64, 127]: the median interpolates
+  // inside the first bucket, p99 inside the tail bucket, and both stay
+  // within their bucket's value range.
+  h = HistogramSnapshot{};
+  h.count = 100;
+  h.buckets[histogram_bucket(4)] = 90;
+  h.buckets[histogram_bucket(64)] = 10;
+  const double p50 = histogram_quantile(h, 0.50);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 7.0);
+  const double p95 = histogram_quantile(h, 0.95);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 127.0);
+  const double p99 = histogram_quantile(h, 0.99);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 127.0);
+  // Monotone in q.
+  EXPECT_LE(histogram_quantile(h, 0.10), p50);
+}
+
 #if BYZ_OBS_ENABLED
 
 TEST(MetricsRegistry, DisabledRecordingIsDropped) {
@@ -172,6 +199,11 @@ TEST(MetricsRegistry, JsonDocumentParses) {
   EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 100.0);
   // Sparse buckets: exactly the zero bucket and bucket_of(100).
   ASSERT_EQ(hist->find("buckets")->elements().size(), 2u);
+  // Quantile estimates ride along; with half the samples exact zeros the
+  // median is 0 and p99 lands in 100's bucket range [64, 127].
+  EXPECT_DOUBLE_EQ(hist->find("p50")->as_number(), 0.0);
+  EXPECT_GE(hist->find("p99")->as_number(), 64.0);
+  EXPECT_LE(hist->find("p99")->as_number(), 127.0);
 }
 
 #endif  // BYZ_OBS_ENABLED

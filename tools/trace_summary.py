@@ -14,7 +14,9 @@ Validates the document shape produced by `byzbench --trace-out` /
     engine.phase span on the same thread whose [ts, ts+dur] encloses it.
 
 Exits nonzero on malformed input (unreadable file, not a trace-event
-document, events missing required keys), so CI can gate on it.
+document, events missing required keys) AND on dropped spans — a nonzero
+otherData.dropped count means the per-thread buffers saturated and the
+per-phase attribution below is missing tails — so CI can gate on it.
 """
 
 import argparse
@@ -162,6 +164,12 @@ def main(argv):
         print(f"{args.trace}: {len(spans)} spans, {dropped} dropped")
         print_table("per-span cost", names)
         print_table("per-phase cost", phases)
+    if dropped:
+        print(f"ERROR: {args.trace}: {dropped} spans were dropped by the "
+              "per-thread buffer caps — the summary above is incomplete "
+              "(raise the exporter's buffer cap or trace a smaller run)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
