@@ -1,0 +1,169 @@
+// E30 — parallel flood kernel vs the serial reference oracle: single-trial
+// rounds/sec at large n. Every timed pair is also compared bitwise (known /
+// best_before / last_step, every instrumentation counter, and the
+// hierarchical digest trail), so the speedup column is a claim about an
+// EQUAL result — the determinism-by-construction contract documented in
+// src/protocols/flooding.cpp. Wall-clock numbers go to stdout via
+// ctx.line/table only; the guard metric carries the speedup for the CI
+// perf step, which strips it before the cross---jobs manifest comparison.
+#include <algorithm>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace byz;
+using namespace byz::bench;
+
+struct KernelRun {
+  double ms = 0.0;
+  proto::FloodWorkspace ws;
+  sim::Instrumentation instr;
+  obs::RunDigester digester;
+};
+
+/// One subphase of `steps` flood rounds under the given kernel. The
+/// workspace is fresh per run so the two kernels start from identical
+/// state; the digester trail is the order-insensitivity witness.
+void run_kernel(const graph::Overlay& overlay, const std::vector<bool>& byz,
+                const std::vector<bool>& crashed,
+                const proto::Verifier& verifier,
+                std::span<const proto::Color> gen, std::uint32_t steps,
+                proto::FloodExec exec, KernelRun& out) {
+  proto::FloodParams params;
+  params.steps = steps;
+  params.exec = exec;
+  params.digest = &out.digester;
+  out.digester.begin_phase(1);
+  out.digester.begin_subphase(1);
+  util::Timer timer;
+  proto::run_flood_subphase(overlay, byz, crashed, verifier, params, gen, {},
+                            out.ws, out.instr);
+  out.ms = timer.milliseconds();
+  out.digester.close_subphase();
+  out.digester.close_phase();
+  out.digester.close_run();
+}
+
+void run_e30(RunContext& ctx) {
+  // Smoke scales shrink max_exp below the full-size floor of 2^16; clamp
+  // the low end so the sweep (and the guard metric CI asserts on) never
+  // degenerates to zero sizes.
+  const auto hi_exp = ctx.max_exp(20);
+  const auto sizes = analysis::pow2_sizes(std::min(16u, hi_exp), hi_exp);
+  const auto reps = ctx.trials(3);
+  constexpr std::uint32_t kSteps = 8;
+  const auto hw = std::max(1u, std::thread::hardware_concurrency());
+
+  util::Table table("E30: parallel flood kernel vs serial reference, d=6 (" +
+                    std::to_string(reps) + " reps of " +
+                    std::to_string(kSteps) + " rounds, " +
+                    std::to_string(hw) + " hw threads)");
+  table.columns({"n", "serial ms", "parallel ms", "rounds/s serial",
+                 "rounds/s par", "speedup", "identical"});
+
+  std::uint64_t digest_xor = 0;
+  std::uint64_t runs_digested = 0;
+  std::uint64_t trail_divergences = 0;
+  double guard_speedup = 0.0;
+  bool guard_identical = true;
+  std::uint64_t guard_compared = 0;
+  for (const auto n : sizes) {
+    const std::uint64_t seed =
+        bench_core::TrialScheduler::trial_seed(0xE30 + n, 0);
+    const auto overlay = ctx.overlay(n, 6, seed);
+    const auto byz = place_byz(n, 0.01, seed);
+    const std::vector<bool> crashed(n, false);
+    const proto::Verifier verifier(*overlay, byz, {});
+    util::Xoshiro256 rng(util::mix_seed(seed, 0xF100D));
+    std::vector<proto::Color> gen(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      gen[v] = byz[v] ? 0 : util::geometric_color(rng);
+    }
+
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    bool identical = true;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      KernelRun serial;
+      KernelRun parallel;
+      run_kernel(*overlay, byz, crashed, verifier, gen, kSteps,
+                 {proto::FloodMode::kSerial, 0}, serial);
+      run_kernel(*overlay, byz, crashed, verifier, gen, kSteps,
+                 {proto::FloodMode::kParallel, 0}, parallel);
+      serial_ms += serial.ms;
+      parallel_ms += parallel.ms;
+      identical = identical && serial.ws.known == parallel.ws.known &&
+                  serial.ws.best_before == parallel.ws.best_before &&
+                  serial.ws.last_step == parallel.ws.last_step &&
+                  serial.instr == parallel.instr;
+      const auto div = obs::first_divergence(serial.digester.trail(),
+                                             parallel.digester.trail());
+      if (div.diverged()) ++trail_divergences;
+      digest_xor ^= serial.digester.trail().run_digest ^
+                    parallel.digester.trail().run_digest;
+      runs_digested += 2;
+      ++guard_compared;
+    }
+    const double rounds = static_cast<double>(reps) * kSteps;
+    const double rs_serial = serial_ms > 0.0 ? 1000.0 * rounds / serial_ms : 0;
+    const double rs_par = parallel_ms > 0.0 ? 1000.0 * rounds / parallel_ms : 0;
+    const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0;
+    table.row()
+        .cell(std::uint64_t{n})
+        .cell(serial_ms / reps, 2)
+        .cell(parallel_ms / reps, 2)
+        .cell(rs_serial, 1)
+        .cell(rs_par, 1)
+        .cell(util::format_double(speedup, 2) + "x")
+        .cell(identical ? "yes" : "NO");
+    ctx.line("e30: n=" + std::to_string(n) + " serial " +
+             util::format_double(serial_ms / reps, 2) + " ms/subphase, " +
+             "parallel " + util::format_double(parallel_ms / reps, 2) +
+             " ms/subphase (" + util::format_double(speedup, 2) + "x)");
+    guard_identical = guard_identical && identical;
+    // Guard cell: the largest size in this run.
+    if (n == sizes.back()) {
+      guard_speedup = speedup;
+      Json g = Json::object();
+      g["n"] = std::uint64_t{n};
+      g["threads"] = std::uint64_t{hw};
+      g["hw_threads"] = std::uint64_t{hw};
+      g["speedup"] = guard_speedup;
+      g["identical"] = guard_identical;
+      g["divergences"] = trail_divergences;
+      g["compared"] = guard_compared;
+      // The >=3x acceptance bound only binds where the hardware can give
+      // it: the CI perf step checks speedup iff enforced is true.
+      g["enforced"] = hw >= 4;
+      ctx.metric("guard", std::move(g));
+    }
+  }
+  table.note("Same overlay, colors, and Byzantine set for both kernels, "
+             "fresh workspaces per rep; 'identical' asserts bitwise-equal "
+             "per-node state and instrumentation, and the digest trails are "
+             "compared entry for entry (" +
+             std::to_string(trail_divergences) +
+             " divergences). The parallel kernel merges per-worker state in "
+             "node-id order, so equality holds at every thread count.");
+  ctx.emit(table);
+  write_digest_sidecar(ctx, "e30", digest_xor, runs_digested,
+                       trail_divergences);
+}
+
+}  // namespace
+
+BYZBENCH_REGISTER(e30) {
+  ScenarioSpec spec;
+  spec.id = "e30";
+  spec.title = "Parallel flood kernel vs serial reference oracle";
+  spec.claim = "Word-packed parallel flooding: >=3x single-trial speedup at "
+               "n=2^20 with >=4 threads, bitwise identical estimates, "
+               "instrumentation, and digest trails";
+  spec.grid = {{"steps", {"8"}}, {"byz_delta", {"0.01"}}, pow2_axis(16, 20)};
+  spec.base_trials = 3;
+  spec.metrics = {"guard.speedup", "guard.identical", "guard.divergences"};
+  spec.run = run_e30;
+  return spec;
+}

@@ -149,6 +149,11 @@ int run_churn_mode(const byz::util::ArgParser& args) {
   // Pure read-side — the table below is identical with or without it.
   cfg.audit = args.flag("audit") || !args.str("audit-dir").empty();
   cfg.audit_dir = args.str("audit-dir");
+  const auto flood_threads =
+      static_cast<std::uint32_t>(args.integer("flood-threads"));
+  if (flood_threads > 0) {
+    cfg.flood = {proto::FloodMode::kParallel, flood_threads};
+  }
   if (eps_warm && !incremental) {
     BYZ_ERROR << "size_service: --eps-warm needs the warm tier "
                  "(pass --incremental)";
@@ -381,6 +386,11 @@ int main(int argc, char** argv) {
   args.add_option("audit-dir", "directory for forensics reports (implies "
                                "--audit; \"\" = embed paths only)",
                   "");
+  args.add_option("flood-threads",
+                  "flood kernel: 0 = serial reference, N > 0 = word-packed "
+                  "parallel kernel with N threads (results are bitwise "
+                  "identical either way)",
+                  "0");
   args.add_option("trace-out",
                   "Chrome trace-event JSON file (Perfetto/chrome://tracing; "
                   "empty = tracing off)",
@@ -396,6 +406,14 @@ int main(int argc, char** argv) {
   try {
     if (!args.parse(argc, argv)) return 0;
     trace_out = args.str("trace-out");
+    {
+      const auto flood_threads =
+          static_cast<std::uint32_t>(args.integer("flood-threads"));
+      if (flood_threads > 0) {
+        proto::set_default_flood_exec(
+            {proto::FloodMode::kParallel, flood_threads});
+      }
+    }
     // Observability is opt-in and pure read-side (src/obs/obs.hpp):
     // estimates and tables are identical with or without tracing.
     if (!trace_out.empty()) obs::set_enabled(true);

@@ -249,6 +249,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       MidRunConfig mid_cfg;
       mid_cfg.policy = cfg.mid_run.policy;
       mid_cfg.schedule_strategy = cfg.mid_run.schedule;
+      mid_cfg.flood = cfg.flood;
 
       // Divergence audit: every tier executed this epoch records a digest
       // trail and a flight tail; the oracle checks below compare them and
@@ -536,6 +537,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
       warm_cfg.eps_phase_skip = inc_cfg.eps_warm;
       warm_cfg.eps_budget = inc_cfg.eps_budget;
       warm_cfg.eps_margin = inc_cfg.eps_margin;
+      warm_cfg.flood = cfg.flood;
       auto warm = proto::run_counting_warm(
           snap.overlay, dense_byz, *strategy, cfg.protocol, color_seed,
           snap.dense_to_stable, inc->last_dirty(), acc_drift, warm_cfg,
@@ -552,6 +554,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         auto cold_strategy = adv::make_strategy(cfg.strategy);
         proto::RunControls cold_rc;
         cold_rc.digester = cfg.audit ? &cold_dig : nullptr;
+        cold_rc.flood = cfg.flood;
         cold = proto::run_counting_with(snap.overlay, dense_byz,
                                         *cold_strategy, cfg.protocol,
                                         color_seed, cold_rc);
@@ -605,6 +608,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
     } else {
       proto::RunControls run_rc;
       run_rc.digester = cfg.audit ? &run_dig : nullptr;
+      run_rc.flood = cfg.flood;
       run = proto::run_counting_with(snap.overlay, dense_byz, *strategy,
                                      cfg.protocol, color_seed, run_rc);
     }

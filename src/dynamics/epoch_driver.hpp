@@ -151,6 +151,12 @@ struct ChurnRunConfig {
   /// Directory forensic reports are written to ("" = render-only; the
   /// report text still reaches thrown exception messages via its path).
   std::string audit_dir;
+  /// Flood-kernel selection forwarded to every fastpath-tier run this
+  /// driver launches (cold, warm, ε-warm, and mid-run). The parallel
+  /// kernel is bitwise-equivalent to the serial oracle, so every
+  /// EpochStats field — including the engine-oracle and verify_warm
+  /// comparisons — is independent of it.
+  proto::FloodExec flood;
 };
 
 struct EpochStats {
@@ -205,6 +211,10 @@ struct EpochStats {
   /// is off, the epoch was skipped, or the obs layer is compiled out).
   /// Scenarios fold these into DIGEST_<exp>.json sidecars.
   std::uint64_t run_digest = 0;
+
+  /// Bitwise identity over every counter — the oracle the flood-kernel
+  /// independence tests assert across thread counts.
+  bool operator==(const EpochStats&) const = default;
 };
 
 struct ChurnRunResult {

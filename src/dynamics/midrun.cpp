@@ -487,6 +487,7 @@ MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
     controls.midrun = &feed;
     controls.start_phase = start_phase;
     controls.digester = digester;
+    controls.flood = config.flood;
     out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
                                        strategy, cfg, color_seed, controls);
   }

@@ -108,6 +108,11 @@ struct MidRunConfig {
   /// rounds it is given.
   adv::MidRunScheduleStrategy schedule_strategy =
       adv::MidRunScheduleStrategy::kUniform;
+  /// Flood-kernel selection for the fastpath tier of this run (the
+  /// message-level engine tier is per-message and unaffected). The
+  /// parallel kernel is bitwise-equivalent, so MidRunOutcome — including
+  /// the engine-oracle comparison — is independent of it.
+  proto::FloodExec flood;
 };
 
 struct MidRunStats {

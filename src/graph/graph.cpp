@@ -36,7 +36,7 @@ Graph Graph::from_edges(NodeId num_nodes,
   if (!dedup) return g;
 
   // Deduplicate parallel edges in place, then rebuild offsets.
-  std::vector<std::uint64_t> new_offsets(g.offsets_.size(), 0);
+  OffsetVec new_offsets(g.offsets_.size(), 0);
   std::uint64_t write = 0;
   for (NodeId v = 0; v < num_nodes; ++v) {
     const std::uint64_t begin = g.offsets_[v];
@@ -70,8 +70,7 @@ Graph Graph::from_adjacency(std::vector<std::vector<NodeId>> adj) {
   return g;
 }
 
-Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
-                      std::vector<NodeId> neighbors) {
+Graph Graph::from_csr(OffsetVec offsets, NeighborVec neighbors) {
   if (offsets.empty() || offsets.front() != 0 ||
       offsets.back() != neighbors.size()) {
     throw std::invalid_argument("Graph::from_csr: malformed offsets");

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/aligned.hpp"
+
 namespace byz::graph {
 
 using NodeId = std::uint32_t;
@@ -17,6 +19,14 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 /// `has_edge` a binary search and set intersections linear.
 class Graph {
  public:
+  /// CSR row storage is cache-line aligned: the flood kernel and verifier
+  /// row recomputation stream these arrays, and 64-byte alignment keeps
+  /// row starts from straddling an extra line. Callers that assemble CSR
+  /// arrays for from_csr build them in these types so the adoption stays
+  /// a move.
+  using OffsetVec = util::aligned_vector<std::uint64_t>;
+  using NeighborVec = util::aligned_vector<NodeId>;
+
   Graph() = default;
 
   /// Builds from an undirected edge list. Each {u, v} contributes one slot
@@ -34,8 +44,8 @@ class Graph {
   /// snapshot engine). `offsets` must be monotone with offsets[0] == 0 and
   /// offsets.back() == neighbors.size(); each node's range must be sorted
   /// ascending (checked in debug builds only).
-  [[nodiscard]] static Graph from_csr(std::vector<std::uint64_t> offsets,
-                                      std::vector<NodeId> neighbors);
+  [[nodiscard]] static Graph from_csr(OffsetVec offsets,
+                                      NeighborVec neighbors);
 
   [[nodiscard]] NodeId num_nodes() const noexcept {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
@@ -78,8 +88,8 @@ class Graph {
   }
 
  private:
-  std::vector<std::uint64_t> offsets_;  // size n+1
-  std::vector<NodeId> neighbors_;       // size 2m, sorted per node
+  OffsetVec offsets_;      // size n+1
+  NeighborVec neighbors_;  // size 2m, sorted per node
 };
 
 }  // namespace byz::graph

@@ -154,11 +154,11 @@ MutableOverlay::Snapshot IncrementalEngine::snapshot() {
     // rebuild.
     const std::uint32_t d = ov.d();
     const std::uint32_t cycles = ov.num_cycles();
-    std::vector<std::uint64_t> h_off(static_cast<std::size_t>(n) + 1);
+    graph::Graph::OffsetVec h_off(static_cast<std::size_t>(n) + 1);
     for (NodeId i = 0; i <= n; ++i) {
       h_off[i] = static_cast<std::uint64_t>(i) * d;
     }
-    std::vector<NodeId> h_nbrs(static_cast<std::uint64_t>(n) * d);
+    graph::Graph::NeighborVec h_nbrs(static_cast<std::uint64_t>(n) * d);
 #pragma omp parallel for schedule(static)
     for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {
       const auto i = static_cast<NodeId>(si);
@@ -174,11 +174,11 @@ MutableOverlay::Snapshot IncrementalEngine::snapshot() {
     // G: prefix-sum the stored ball sizes, then translate stable→dense.
     // The mapping is monotone (dense order IS increasing stable order), so
     // the stable-sorted balls land dense-sorted without re-sorting.
-    std::vector<std::uint64_t> g_off(static_cast<std::size_t>(n) + 1, 0);
+    graph::Graph::OffsetVec g_off(static_cast<std::size_t>(n) + 1, 0);
     for (NodeId i = 0; i < n; ++i) {
       g_off[i + 1] = g_off[i] + balls_[snap.dense_to_stable[i]].size();
     }
-    std::vector<NodeId> g_nbrs(g_off[n]);
+    graph::Graph::NeighborVec g_nbrs(g_off[n]);
     std::vector<std::uint8_t> g_dist(g_off[n]);
 #pragma omp parallel for schedule(static)
     for (std::int64_t si = 0; si < static_cast<std::int64_t>(n); ++si) {

@@ -51,6 +51,8 @@ struct Accuracy {
   double mean_ratio = 0.0;
   double frac_in_band = 0.0;       ///< in_band / honest
   double frac_good = 0.0;          ///< in_band / decided
+
+  bool operator==(const Accuracy&) const = default;
 };
 
 /// Computes the summary. `lo`/`hi` bound the accepted ratio est/log2(n);

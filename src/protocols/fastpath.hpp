@@ -12,6 +12,7 @@
 #include "adversary/strategies.hpp"
 #include "graph/small_world.hpp"
 #include "protocols/estimate.hpp"
+#include "protocols/flooding.hpp"
 #include "protocols/midrun.hpp"
 #include "protocols/schedule.hpp"
 #include "protocols/verification.hpp"
@@ -98,6 +99,13 @@ struct RunControls {
   /// trails localize the first divergent round. Pure read-side; null = no
   /// digesting (the default).
   obs::RunDigester* digester = nullptr;
+  /// Flood-kernel selection (flooding.hpp): kSerial is the scalar
+  /// reference, kParallel the word-packed OpenMP kernel, kDefault the
+  /// process default (BYZ_FLOOD_THREADS / set_default_flood_exec). The
+  /// kernels are bitwise-equivalent at every thread count, so this knob is
+  /// DECISION-EXACT like the warm-tier pair. A parallel run also batches
+  /// the internally constructed Verifier's row precompute.
+  FloodExec flood;
 };
 
 /// run_counting with explicit controls; run_counting == default controls.

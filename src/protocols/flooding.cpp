@@ -1,7 +1,12 @@
 #include "protocols/flooding.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/digest.hpp"
 #include "obs/metrics.hpp"
@@ -10,6 +15,77 @@
 namespace byz::proto {
 
 using graph::NodeId;
+
+// ---------------------------------------------------------------------------
+// Process-wide kernel default
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The override is packed into one atomic word: bit 63 marks "set", byte 4
+// holds the mode, the low 32 bits the thread count. 0 means "no override":
+// fall back to the environment-derived default.
+constexpr std::uint64_t kExecSetBit = std::uint64_t{1} << 63;
+
+std::uint64_t pack_exec(FloodExec exec) {
+  return kExecSetBit |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(exec.mode))
+          << 32) |
+         exec.threads;
+}
+
+FloodExec unpack_exec(std::uint64_t packed) {
+  FloodExec exec;
+  exec.mode = static_cast<FloodMode>((packed >> 32) & 0xff);
+  exec.threads = static_cast<std::uint32_t>(packed & 0xffffffffu);
+  return exec;
+}
+
+std::atomic<std::uint64_t>& exec_override() {
+  static std::atomic<std::uint64_t> value{0};
+  return value;
+}
+
+FloodExec env_default_exec() {
+  // BYZ_FLOOD_THREADS=N (N > 0) forces the parallel kernel process-wide —
+  // the handle the TSan CI job uses to drive unmodified test binaries
+  // through the parallel path.
+  static const FloodExec exec = [] {
+    FloodExec e;
+    e.mode = FloodMode::kSerial;
+    if (const char* s = std::getenv("BYZ_FLOOD_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(s, &end, 10);
+      if (end != s && v > 0) {
+        e.mode = FloodMode::kParallel;
+        e.threads = static_cast<std::uint32_t>(v);
+      }
+    }
+    return e;
+  }();
+  return exec;
+}
+
+}  // namespace
+
+void set_default_flood_exec(FloodExec exec) {
+  if (exec.mode == FloodMode::kDefault) {
+    exec_override().store(0, std::memory_order_relaxed);
+    return;
+  }
+  exec_override().store(pack_exec(exec), std::memory_order_relaxed);
+}
+
+FloodExec default_flood_exec() {
+  const std::uint64_t packed = exec_override().load(std::memory_order_relaxed);
+  if (packed != 0) return unpack_exec(packed);
+  return env_default_exec();
+}
+
+FloodExec resolve_flood_exec(FloodExec exec) {
+  if (exec.mode == FloodMode::kDefault) return default_flood_exec();
+  return exec;
+}
 
 void FloodWorkspace::ensure(NodeId n) {
   known.assign(n, 0);
@@ -23,27 +99,63 @@ void FloodWorkspace::ensure(NodeId n) {
   live_frontier.clear();
 }
 
-void run_flood_subphase(const graph::Overlay& overlay,
-                        const std::vector<bool>& byz_mask,
-                        const std::vector<bool>& crashed,
-                        const Verifier& verifier, const FloodParams& params,
-                        std::span<const Color> gen_color,
-                        std::span<const Injection> injections,
-                        FloodWorkspace& ws, sim::Instrumentation& instr) {
+namespace {
+
+/// Per-round frontier-size histogram shared by both kernels.
+const obs::Histogram& frontier_histogram() {
+  static const obs::Histogram hist("flood.frontier");
+  return hist;
+}
+
+/// Fork/join over `num_words` bitset words in `nt` contiguous chunks; each
+/// worker runs body(first_word, last_word) exactly once, so per-worker
+/// accumulators live inside the body and merge at its end. The OpenMP form
+/// (one static chunk per thread) composes with the surrounding code's omp
+/// usage; under TSan the tool cannot see libgomp's futex barriers, so that
+/// build — and the no-OpenMP fallback — uses std::thread, whose join gives
+/// the identical fork/join happens-before in a form TSan understands.
+template <typename Body>
+void parallel_word_chunks(int nt, std::int64_t num_words, const Body& body) {
+  if (nt <= 1 || num_words <= 1) {
+    body(std::int64_t{0}, num_words);
+    return;
+  }
+  const std::int64_t chunks = std::min<std::int64_t>(nt, num_words);
+  const std::int64_t chunk = (num_words + chunks - 1) / chunks;
+#if defined(_OPENMP) && !defined(__SANITIZE_THREAD__)
+#pragma omp parallel for schedule(static, 1) num_threads(static_cast<int>(chunks))
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    body(c * chunk, std::min<std::int64_t>(num_words, (c + 1) * chunk));
+  }
+#else
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(chunks - 1));
+  for (std::int64_t c = 1; c < chunks; ++c) {
+    const std::int64_t first = c * chunk;
+    const std::int64_t last =
+        std::min<std::int64_t>(num_words, (c + 1) * chunk);
+    workers.emplace_back([&body, first, last] { body(first, last); });
+  }
+  body(std::int64_t{0}, std::min<std::int64_t>(num_words, chunk));
+  for (auto& th : workers) th.join();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Serial reference kernel — the oracle. This body is the original scalar
+// implementation, kept verbatim; the parallel kernel below must stay
+// bitwise-equivalent to it (tests/protocols/flood_parallel_test.cpp, E30).
+// ---------------------------------------------------------------------------
+
+void run_subphase_serial(const graph::Overlay& overlay,
+                         const std::vector<bool>& byz_mask,
+                         const std::vector<bool>& crashed,
+                         const Verifier& verifier, const FloodParams& params,
+                         std::span<const Color> gen_color,
+                         std::span<const Injection> injections,
+                         FloodWorkspace& ws, sim::Instrumentation& instr) {
   const MidRunHooks* live = params.live;
   const NodeId n = live ? live->node_bound() : overlay.num_nodes();
-  if (gen_color.size() != n || byz_mask.size() != n || crashed.size() != n) {
-    throw std::invalid_argument("run_flood_subphase: size mismatch");
-  }
-  if (!params.region.empty() && params.region.size() != n) {
-    throw std::invalid_argument("run_flood_subphase: region size mismatch");
-  }
-  if (live != nullptr && !params.region.empty()) {
-    throw std::invalid_argument(
-        "run_flood_subphase: live topology is incompatible with focused "
-        "(region) floods");
-  }
-  ws.ensure(n);
   const auto& h = overlay.h_simple();
   const auto in_region = [&](NodeId v) {
     return params.region.empty() || params.region[v] != 0;
@@ -61,22 +173,11 @@ void run_flood_subphase(const graph::Overlay& overlay,
     if (gen_color[v] > 0 && !crashed[v]) ws.frontier.push_back(v);
   }
 
-  // Observability (pure read-side; inert unless obs::set_enabled). The
-  // subphase span carries the flood geometry; each round span carries the
-  // frontier it sent from and the token volume the sends produced.
-  static const obs::Counter obs_rounds("flood.rounds");
-  static const obs::Counter obs_tokens("flood.tokens");
-  static const obs::Histogram obs_frontier("flood.frontier");
-  obs::Span subphase_span("flood.subphase");
-  subphase_span.arg("steps", params.steps)
-      .arg("focused", params.region.empty() ? 0 : 1);
-  const std::uint64_t subphase_tokens_before = instr.token_messages;
-
   // Injections grouped by step (inputs are few; linear scan per step).
   for (std::uint32_t t = 1; t <= params.steps; ++t) {
     obs::Span round_span("flood.round");
     round_span.arg("step", t).arg("frontier", ws.frontier.size());
-    obs_frontier.observe(ws.frontier.size());
+    frontier_histogram().observe(ws.frontier.size());
     const std::uint64_t round_tokens_before = instr.token_messages;
     // Mid-run churn: apply the events scheduled for this round BEFORE its
     // sends, so a node departing at round r never sends at r and a joiner
@@ -189,6 +290,296 @@ void run_flood_subphase(const graph::Overlay& overlay,
     }
     round_span.arg("tokens", instr.token_messages - round_tokens_before);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Word-packed parallel kernel. Bitwise-equivalent to the serial oracle by
+// construction:
+//   * receive folding is a commutative max — relaxed CAS loops commute, so
+//     the per-step receive maxima are interleaving-independent;
+//   * touched membership is "recv went 0 -> c", marked exactly once by the
+//     thread whose CAS succeeds from 0 (values only grow, so per node and
+//     step only one CAS with expected value 0 can ever succeed);
+//   * the round digest is a commutative XOR fold, accumulated per worker
+//     and folded once on the main thread;
+//   * Instrumentation is sums plus one max, merged per worker under a
+//     mutex via Instrumentation::merge. Conformant frontier sends always
+//     satisfy c == legit_fresh (step 1: c = known = gen_color; later
+//     steps: frontier membership implies fresh == t-1, so legit = known =
+//     c), hence Verifier::accept only touches the commutative
+//     verification-traffic sums on this path. The few Byzantine
+//     injections — whose accept() outcome feeds the injection counters —
+//     are delivered serially between the sweeps;
+//   * the close sweep owns all state it writes (best_before/last_step/
+//     known/fresh and the next-frontier word) word-by-word, and every
+//     observable downstream of frontier ITERATION ORDER is
+//     order-insensitive (the live wavefront is explicitly canonical, and
+//     counters/digests commute), so ascending-bitset order matches the
+//     serial vectors bit for bit.
+// ---------------------------------------------------------------------------
+
+void run_subphase_parallel(const graph::Overlay& overlay,
+                           const std::vector<bool>& byz_mask,
+                           const std::vector<bool>& crashed,
+                           const Verifier& verifier, const FloodParams& params,
+                           std::span<const Color> gen_color,
+                           std::span<const Injection> injections,
+                           FloodWorkspace& ws, sim::Instrumentation& instr,
+                           std::uint32_t threads) {
+  const MidRunHooks* live = params.live;
+  const NodeId n = live ? live->node_bound() : overlay.num_nodes();
+  const auto& h = overlay.h_simple();
+  const auto in_region = [&](NodeId v) {
+    return params.region.empty() || params.region[v] != 0;
+  };
+  const auto present = [&](NodeId v) {
+    return live == nullptr || live->alive(v);
+  };
+  const int nt = static_cast<int>(
+      threads > 0 ? threads : std::max(1u, std::thread::hardware_concurrency()));
+
+  using Word = util::Bitset::Word;
+  constexpr std::size_t kWordBits = util::Bitset::kWordBits;
+  ws.frontier_bits.assign(n);
+  ws.next_frontier_bits.assign(n);
+  ws.touched_bits.assign(n);
+  const std::int64_t num_words =
+      static_cast<std::int64_t>(ws.frontier_bits.num_words());
+  std::mutex merge_mu;
+
+  // Atomic running max over recv[v]; the value it replaces decides the
+  // 0 -> c transition (touched membership) exactly once.
+  auto deliver_max = [&](NodeId v, Color c) {
+    std::atomic_ref<Color> slot(ws.recv[v]);
+    Color cur = slot.load(std::memory_order_relaxed);
+    while (cur < c) {
+      if (slot.compare_exchange_weak(cur, c, std::memory_order_relaxed)) {
+        if (cur == 0) ws.touched_bits.set_atomic(v);
+        break;
+      }
+    }
+  };
+
+  // Step 1 senders, word-parallel: each frontier word is built locally and
+  // stored exactly once.
+  {
+    Word* fw = ws.frontier_bits.words();
+    parallel_word_chunks(nt, num_words, [&](std::int64_t first,
+                                            std::int64_t last) {
+      for (std::int64_t wi = first; wi < last; ++wi) {
+        Word w = 0;
+        const NodeId base = static_cast<NodeId>(
+            static_cast<std::size_t>(wi) * kWordBits);
+        const NodeId end =
+            std::min<NodeId>(n, base + static_cast<NodeId>(kWordBits));
+        for (NodeId v = base; v < end; ++v) {
+          if (!in_region(v)) continue;
+          ws.known[v] = gen_color[v];
+          if (gen_color[v] > 0 && !crashed[v]) w |= Word{1} << (v - base);
+        }
+        fw[wi] = w;
+      }
+    });
+  }
+
+  for (std::uint32_t t = 1; t <= params.steps; ++t) {
+    const std::size_t frontier_count = ws.frontier_bits.count();
+    obs::Span round_span("flood.round");
+    round_span.arg("step", t).arg("frontier", frontier_count);
+    frontier_histogram().observe(frontier_count);
+    const std::uint64_t round_tokens_before = instr.token_messages;
+    if (live != nullptr) {
+      ws.live_frontier.clear();
+      if (live->wants_frontier()) {
+        // Ascending bitset order IS the canonical sorted wavefront.
+        ws.frontier_bits.for_each_set([&](std::size_t u) {
+          if (crashed[u]) return;
+          if (byz_mask[u] && !params.byz_forward) return;
+          if (!live->alive(static_cast<NodeId>(u))) return;
+          ws.live_frontier.push_back(static_cast<NodeId>(u));
+        });
+      }
+      RoundClock clock = params.clock;
+      clock.step = t;
+      clock.round = params.clock.round + (t - 1);
+      params.live->begin_round(clock, ws.live_frontier);
+    }
+
+    std::uint64_t round_digest_acc = 0;
+
+    // Sender sweep over frontier words.
+    {
+      const Word* fw = ws.frontier_bits.words();
+      parallel_word_chunks(nt, num_words, [&](std::int64_t first,
+                                              std::int64_t last) {
+        sim::Instrumentation local;
+        std::uint64_t dig = 0;
+        for (std::int64_t wi = first; wi < last; ++wi) {
+          Word w = fw[wi];
+          while (w) {
+            const NodeId u = static_cast<NodeId>(
+                static_cast<std::size_t>(wi) * kWordBits +
+                static_cast<std::size_t>(std::countr_zero(w)));
+            w &= w - 1;
+            if (byz_mask[u] && !params.byz_forward) continue;
+            if (!present(u)) continue;
+            const auto nbrs = live ? live->neighbors(u) : h.neighbors(u);
+            local.count_token(nbrs.size());
+            local.max_node_round_sends = std::max<std::uint64_t>(
+                local.max_node_round_sends, nbrs.size());
+            const Color c = ws.known[u];
+            if (params.digest != nullptr) {
+              dig ^= obs::digest_sender_term(u, c);
+            }
+            const Color legit =
+                (t == 1) ? gen_color[u]
+                         : ((ws.fresh[u] == t - 1) ? ws.known[u] : 0);
+            for (const NodeId v : nbrs) {
+              if (!in_region(v)) continue;
+              if (crashed[v] || !present(v)) continue;
+              if (byz_mask[v]) {
+                deliver_max(v, c);
+                continue;
+              }
+              if (!verifier.accept(u, c, t, legit, byz_mask[u], local)) {
+                continue;
+              }
+              deliver_max(v, c);
+            }
+          }
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        instr.merge(local);
+        round_digest_acc ^= dig;
+      });
+    }
+
+    // Byzantine injections: few, and their accept() outcome feeds the
+    // injection counters, so they run serially on the real instrumentation
+    // (recv folding still commutes with the sweep above — it already
+    // finished — and with other injections via the same max fold).
+    for (const auto& inj : injections) {
+      if (inj.step != t || crashed[inj.from]) continue;
+      if (!in_region(inj.from) || !present(inj.from)) continue;
+      const auto nbrs =
+          live ? live->neighbors(inj.from) : h.neighbors(inj.from);
+      instr.count_token(nbrs.size());
+      instr.max_node_round_sends =
+          std::max<std::uint64_t>(instr.max_node_round_sends, nbrs.size());
+      for (const NodeId v : nbrs) {
+        if (!in_region(v)) continue;
+        if (crashed[v] || !present(v)) continue;
+        if (byz_mask[v]) {
+          deliver_max(v, inj.value);
+          continue;
+        }
+        const Color legit =
+            (t == 1)
+                ? gen_color[inj.from]
+                : ((ws.fresh[inj.from] == t - 1) ? ws.known[inj.from] : 0);
+        if (!verifier.accept(inj.from, inj.value, t, legit,
+                             byz_mask[inj.from], instr)) {
+          continue;
+        }
+        deliver_max(v, inj.value);
+      }
+    }
+
+    // Close sweep: every word of the touched set is owned by exactly one
+    // iteration, which also writes that word of the next frontier (0 when
+    // nothing was touched) and re-zeroes the touched word for the next
+    // step.
+    {
+      Word* tw_words = ws.touched_bits.words();
+      Word* nf_words = ws.next_frontier_bits.words();
+      parallel_word_chunks(nt, num_words, [&](std::int64_t first,
+                                              std::int64_t last) {
+        std::uint64_t dig = 0;
+        for (std::int64_t wi = first; wi < last; ++wi) {
+          Word tw = tw_words[wi];
+          Word next_w = 0;
+          while (tw) {
+            const std::size_t bit =
+                static_cast<std::size_t>(std::countr_zero(tw));
+            tw &= tw - 1;
+            const NodeId v = static_cast<NodeId>(
+                static_cast<std::size_t>(wi) * kWordBits + bit);
+            const Color r = ws.recv[v];
+            ws.recv[v] = 0;
+            if (params.digest != nullptr) {
+              dig ^= obs::digest_receiver_term(v, r);
+            }
+            if (t < params.steps) {
+              ws.best_before[v] = std::max(ws.best_before[v], r);
+            } else {
+              ws.last_step[v] = r;
+            }
+            if (r > ws.known[v]) {
+              ws.known[v] = r;
+              ws.fresh[v] = t;
+              if (!crashed[v]) next_w |= Word{1} << bit;
+            }
+          }
+          nf_words[wi] = next_w;
+          tw_words[wi] = 0;
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        round_digest_acc ^= dig;
+      });
+    }
+
+    std::swap(ws.frontier_bits, ws.next_frontier_bits);
+    if (params.digest != nullptr) {
+      params.digest->fold_round(round_digest_acc);
+      params.digest->close_round(instr.token_messages - round_tokens_before);
+    }
+    round_span.arg("tokens", instr.token_messages - round_tokens_before);
+  }
+}
+
+}  // namespace
+
+void run_flood_subphase(const graph::Overlay& overlay,
+                        const std::vector<bool>& byz_mask,
+                        const std::vector<bool>& crashed,
+                        const Verifier& verifier, const FloodParams& params,
+                        std::span<const Color> gen_color,
+                        std::span<const Injection> injections,
+                        FloodWorkspace& ws, sim::Instrumentation& instr) {
+  const MidRunHooks* live = params.live;
+  const NodeId n = live ? live->node_bound() : overlay.num_nodes();
+  if (gen_color.size() != n || byz_mask.size() != n || crashed.size() != n) {
+    throw std::invalid_argument("run_flood_subphase: size mismatch");
+  }
+  if (!params.region.empty() && params.region.size() != n) {
+    throw std::invalid_argument("run_flood_subphase: region size mismatch");
+  }
+  if (live != nullptr && !params.region.empty()) {
+    throw std::invalid_argument(
+        "run_flood_subphase: live topology is incompatible with focused "
+        "(region) floods");
+  }
+  ws.ensure(n);
+
+  // Observability (pure read-side; inert unless obs::set_enabled). The
+  // subphase span carries the flood geometry; each round span carries the
+  // frontier it sent from and the token volume the sends produced.
+  static const obs::Counter obs_rounds("flood.rounds");
+  static const obs::Counter obs_tokens("flood.tokens");
+  obs::Span subphase_span("flood.subphase");
+  subphase_span.arg("steps", params.steps)
+      .arg("focused", params.region.empty() ? 0 : 1);
+  const std::uint64_t subphase_tokens_before = instr.token_messages;
+
+  const FloodExec exec = resolve_flood_exec(params.exec);
+  if (exec.mode == FloodMode::kParallel) {
+    run_subphase_parallel(overlay, byz_mask, crashed, verifier, params,
+                          gen_color, injections, ws, instr, exec.threads);
+  } else {
+    run_subphase_serial(overlay, byz_mask, crashed, verifier, params,
+                        gen_color, injections, ws, instr);
+  }
+
   instr.flood_rounds += params.steps;
   obs_rounds.add(params.steps);
   obs_tokens.add(instr.token_messages - subphase_tokens_before);

@@ -37,12 +37,45 @@
 #include "protocols/midrun.hpp"
 #include "protocols/verification.hpp"
 #include "sim/instrumentation.hpp"
+#include "util/bitset.hpp"
 
 namespace byz::obs {
 class RunDigester;
 }  // namespace byz::obs
 
 namespace byz::proto {
+
+/// Which flood kernel a run uses. kSerial is the scalar reference oracle —
+/// always available, never removed; kParallel is the word-packed OpenMP
+/// kernel, bitwise identical to kSerial at every thread count (the
+/// determinism-by-construction contract documented in flooding.cpp and
+/// guarded by tests/protocols/flood_parallel_test.cpp and E30). kDefault
+/// defers to the process-wide default (set_default_flood_exec, or the
+/// BYZ_FLOOD_THREADS environment variable).
+enum class FloodMode : std::uint8_t { kDefault, kSerial, kParallel };
+
+/// The kernel knob threaded through RunControls, WarmConfig, MidRunConfig,
+/// and ChurnRunConfig. threads == 0 means "use the hardware concurrency";
+/// it is ignored under kSerial.
+struct FloodExec {
+  FloodMode mode = FloodMode::kDefault;
+  std::uint32_t threads = 0;
+  bool operator==(const FloodExec&) const = default;
+};
+
+/// Process-wide default used by FloodMode::kDefault. Initialized from the
+/// BYZ_FLOOD_THREADS environment variable (N > 0 selects the parallel
+/// kernel with N threads — this is how the TSan CI job forces the parallel
+/// path through unmodified test binaries); overridable at runtime
+/// (byzbench --flood-threads, size_service --flood-threads). Passing a
+/// FloodExec whose mode is kDefault resets to the environment-derived
+/// default.
+void set_default_flood_exec(FloodExec exec);
+[[nodiscard]] FloodExec default_flood_exec();
+
+/// Resolves kDefault against the process default; the result's mode is
+/// always kSerial or kParallel.
+[[nodiscard]] FloodExec resolve_flood_exec(FloodExec exec);
 
 /// One Byzantine token emission: node `from` sends `value` to its
 /// H-neighbors at subphase step `step` (1-based). Acceptance is decided by
@@ -70,6 +103,12 @@ class FloodWorkspace {
   /// Canonical (sorted) wavefront handed to MidRunHooks::begin_round; only
   /// populated when live hooks are attached.
   std::vector<graph::NodeId> live_frontier;
+  /// Word-packed set representation used by the parallel kernel (the serial
+  /// oracle keeps the vectors above). Membership is identical to the vector
+  /// form; iteration is ascending node id by construction.
+  util::Bitset frontier_bits;
+  util::Bitset next_frontier_bits;
+  util::Bitset touched_bits;
 };
 
 struct FloodParams {
@@ -95,6 +134,10 @@ struct FloodParams {
   /// and closes one round digest per flood step. Null = no digesting
   /// (the default; pure read-side either way).
   obs::RunDigester* digest = nullptr;
+  /// Kernel selection (serial reference vs word-packed parallel). The two
+  /// kernels produce bitwise-identical outputs, instrumentation, and digest
+  /// trails at every thread count.
+  FloodExec exec;
 };
 
 /// Runs one subphase. `gen_color[v]` is v's generated color (0 = does not

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 namespace byz::proto {
 
@@ -84,7 +85,7 @@ std::uint8_t verifier_chain_len(const graph::Overlay& overlay,
 
 Verifier::Verifier(const graph::Overlay& overlay,
                    const std::vector<bool>& byz_mask,
-                   VerificationConfig config)
+                   VerificationConfig config, std::uint32_t threads)
     : overlay_(&overlay), byz_(&byz_mask), config_(config), k_(overlay.k()) {
   const NodeId n = overlay.num_nodes();
   if (byz_mask.size() != n) {
@@ -93,11 +94,19 @@ Verifier::Verifier(const graph::Overlay& overlay,
   if (k_ >= 16) throw std::invalid_argument("Verifier: k too large");
   ball_counts_.assign(static_cast<std::size_t>(n) * k_, 0);
   chain_len_.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    verifier_ball_row(overlay, v,
-                      ball_counts_.data() + static_cast<std::size_t>(v) * k_);
-    chain_len_[v] =
-        verifier_chain_len(overlay, byz_mask, v, config_.chain_model);
+  // Each row is a pure function of the overlay (and mask) written to a
+  // disjoint slice, so the batched precompute is trivially deterministic.
+  const int nt = static_cast<int>(
+      threads > 0 ? threads
+                  : std::max(1u, std::thread::hardware_concurrency()));
+  (void)nt;
+#pragma omp parallel for schedule(dynamic, 64) num_threads(nt) if (nt > 1)
+  for (std::int64_t v = 0; v < static_cast<std::int64_t>(n); ++v) {
+    verifier_ball_row(
+        overlay, static_cast<NodeId>(v),
+        ball_counts_.data() + static_cast<std::size_t>(v) * k_);
+    chain_len_[static_cast<std::size_t>(v)] = verifier_chain_len(
+        overlay, byz_mask, static_cast<NodeId>(v), config_.chain_model);
   }
 }
 

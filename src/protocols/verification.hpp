@@ -84,8 +84,12 @@ struct VerificationConfig {
 
 class Verifier {
  public:
+  /// `threads` batches the per-node ball-row + chain-length precompute:
+  /// 1 = serial (the default and the reference behavior), 0 = hardware
+  /// concurrency, N = N workers. Every row is a pure function of the
+  /// overlay, so the table is identical for every thread count.
   Verifier(const graph::Overlay& overlay, const std::vector<bool>& byz_mask,
-           VerificationConfig config);
+           VerificationConfig config, std::uint32_t threads = 1);
 
   /// Trusted-state constructor for the warm-start and mid-run tiers:
   /// adopts a ready-made cumulative ball-count table (>= n*k values, laid

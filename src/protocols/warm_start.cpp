@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/digest.hpp"
 #include "obs/metrics.hpp"
@@ -201,7 +202,24 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   std::vector<std::uint8_t> chains(n);
   {
     obs::Span rows_span("warm.rows");
-    for (NodeId v = 0; v < n; ++v) {
+    // A parallel kernel selection also batches the row refresh: every v
+    // writes a disjoint row slice and the reuse decision is per-node, so
+    // the table — and via the reduction, the accounting — is identical at
+    // every thread count.
+    const FloodExec warm_exec = resolve_flood_exec(warm_cfg.flood);
+    const int rows_nt = static_cast<int>(
+        warm_exec.mode != FloodMode::kParallel
+            ? 1
+            : (warm_exec.threads > 0
+                   ? warm_exec.threads
+                   : std::max(1u, std::thread::hardware_concurrency())));
+    (void)rows_nt;
+    std::uint64_t reused = 0;
+    std::uint64_t recomputed = 0;
+#pragma omp parallel for schedule(dynamic, 64) num_threads(rows_nt) \
+    if (rows_nt > 1) reduction(+ : reused, recomputed)
+    for (std::int64_t sv = 0; sv < static_cast<std::int64_t>(n); ++sv) {
+      const auto v = static_cast<NodeId>(sv);
       const NodeId s = dense_to_stable[v];
       const bool reuse = !cold && s < state.row_valid.size() &&
                          state.row_valid[s] != 0;
@@ -209,15 +227,17 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
         std::copy_n(state.ball_counts.data() + static_cast<std::size_t>(s) * k,
                     k, rows.data() + static_cast<std::size_t>(v) * k);
         chains[v] = state.chain_len[s];
-        ++out.rows_reused;
+        ++reused;
       } else {
         verifier_ball_row(overlay, v,
                           rows.data() + static_cast<std::size_t>(v) * k);
         chains[v] = verifier_chain_len(overlay, byz_mask, v,
                                        cfg.verification.chain_model);
-        ++out.rows_recomputed;
+        ++recomputed;
       }
     }
+    out.rows_reused = reused;
+    out.rows_recomputed = recomputed;
     rows_span.arg("reused", out.rows_reused)
         .arg("recomputed", out.rows_recomputed);
     obs_rows_reused.add(out.rows_reused);
@@ -232,6 +252,7 @@ WarmRun run_counting_warm(const graph::Overlay& overlay,
   controls.lazy_subphases = !cold;
   controls.verifier = &verifier;
   controls.digester = digester;
+  controls.flood = warm_cfg.flood;
   if (digester != nullptr) {
     digester->note(obs::FlightEventKind::kWarmRowReuse, out.rows_reused,
                    out.rows_recomputed);

@@ -91,6 +91,10 @@ struct WarmConfig {
   /// decided-phase distribution is broad — see E05/E25 — so every extra
   /// margin phase sharply shrinks the skippable prefix).
   std::uint32_t eps_margin = 1;
+  /// Flood-kernel selection forwarded to the underlying runs (warm AND
+  /// cold fallback); a parallel selection also batches the dirty-row
+  /// recomputation. Bitwise-neutral at every thread count.
+  FloodExec flood;
 };
 
 /// Per-node protocol state carried across epochs, indexed by STABLE id so

@@ -431,5 +431,87 @@ TEST(EpsWarmTest, BudgetAccountingHoldsAcrossEpochs) {
   EXPECT_TRUE(any_eps) << "ε-warm phase skip never engaged";
 }
 
+TEST(FloodKernelIndependenceTest, MidRunOutcomeIdenticalAcrossFloodThreads) {
+  // The parallel kernel is bitwise-equivalent to the serial oracle, so a
+  // mid-run churn run — splices striking the live wavefront, joiner
+  // admission, verifier refreshes — must produce the identical
+  // MidRunOutcome at every thread count. Each execution rebuilds its
+  // inputs from the same seeds (run_counting_midrun mutates them).
+  auto run_once = [](proto::FloodExec exec) {
+    constexpr NodeId kN0 = 192;
+    dynamics::MutableOverlay overlay(kN0, 6, 0, 5);
+    util::Xoshiro256 place_rng(17);
+    std::vector<bool> byz = graph::random_byzantine_mask(
+        kN0, sim::derive_byz_count(kN0, 0.6), place_rng);
+    dynamics::ChurnEpoch epoch;
+    epoch.joins = 10;
+    epoch.sybil_joins = 2;
+    epoch.leaves = 8;
+    proto::ProtocolConfig cfg;
+    const auto schedule = dynamics::derive_schedule(
+        epoch, dynamics::expected_horizon_rounds(kN0, 6, cfg.schedule), 9);
+    dynamics::MidRunConfig mid_cfg;
+    mid_cfg.policy = proto::MembershipPolicy::kReadmitNextPhase;
+    mid_cfg.flood = exec;
+    util::Xoshiro256 churn_rng(23);
+    auto strategy = adv::make_strategy(adv::StrategyKind::kFakeColor);
+    return dynamics::run_counting_midrun(overlay, byz, *strategy, cfg, 77,
+                                         schedule, mid_cfg,
+                                         adv::ChurnAdversary::kNone,
+                                         churn_rng);
+  };
+  const auto serial = run_once({proto::FloodMode::kSerial, 0});
+  for (const std::uint32_t t : {1u, 2u, 4u, 8u}) {
+    const auto parallel = run_once({proto::FloodMode::kParallel, t});
+    EXPECT_TRUE(serial == parallel) << "flood-threads=" << t;
+  }
+}
+
+TEST(FloodKernelIndependenceTest, ComposedChurnIdenticalAcrossFloodThreads) {
+  // The full composed pipeline — mid-run churn + incremental snapshot +
+  // warm rows + verify_warm cold shadow + ε-warm phase skip — with the
+  // kernel knob threaded through every tier: all EpochStats (including
+  // the ε divergence accounting judged against the cold shadow) must be
+  // independent of flood-threads.
+  auto run_once = [](proto::FloodExec exec) {
+    dynamics::ChurnRunConfig cfg;
+    cfg.trace.n0 = 1024;
+    cfg.trace.epochs = 5;
+    cfg.trace.arrival_rate = 4.0;
+    cfg.trace.departure_rate = 4.0;
+    cfg.trace.min_n = 512;
+    cfg.trace.seed = 33;
+    cfg.d = 6;
+    cfg.seed = 33;
+    cfg.mid_run.enabled = true;
+    cfg.incremental.incremental = true;
+    cfg.incremental.warm_start = true;
+    cfg.incremental.verify_warm = true;
+    cfg.incremental.eps_warm = true;
+    cfg.incremental.eps_budget = 0.10;
+    cfg.incremental.eps_margin = 0;
+    cfg.incremental.warm.max_drift = 0.5;
+    cfg.flood = exec;
+    return dynamics::run_churn(cfg);
+  };
+  const auto serial = run_once({proto::FloodMode::kSerial, 0});
+  bool any_warm = false;
+  bool any_eps = false;
+  for (const auto& ep : serial.epochs) {
+    any_warm = any_warm || ep.warm_used;
+    any_eps = any_eps || ep.eps_used;
+  }
+  EXPECT_TRUE(any_warm) << "warm tier never engaged: comparison is vacuous";
+  EXPECT_TRUE(any_eps) << "eps tier never engaged: comparison is vacuous";
+  for (const std::uint32_t t : {1u, 4u}) {
+    const auto parallel = run_once({proto::FloodMode::kParallel, t});
+    ASSERT_EQ(serial.epochs.size(), parallel.epochs.size());
+    for (std::size_t e = 0; e < serial.epochs.size(); ++e) {
+      EXPECT_TRUE(serial.epochs[e] == parallel.epochs[e])
+          << "flood-threads=" << t << " epoch " << e;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace byz
