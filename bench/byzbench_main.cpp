@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
                   "reference kernel, N > 0 = word-packed parallel kernel "
                   "with N threads (bitwise-identical results either way)",
                   "0");
+  args.add_option("backend",
+                  "protocol backend for backend-aware scenarios (registered "
+                  "proto::Estimator name, e.g. algo2, algo1, brc; empty = "
+                  "each scenario's default stack)",
+                  "");
   auto& registry = bench_core::Registry::instance();
   bench_core::RunOptions opts;
   try {
@@ -66,8 +71,17 @@ int main(int argc, char** argv) {
       proto::set_default_flood_exec(
           {proto::FloodMode::kParallel, flood_threads});
     }
+    opts.backend = args.str("backend");
   } catch (const std::exception& e) {
     std::cerr << "byzbench: " << e.what() << "\n\n" << args.help();
+    return 2;
+  }
+  if (!opts.backend.empty() && !proto::estimator_registered(opts.backend)) {
+    std::cerr << "byzbench: unknown --backend '" << opts.backend << "'; known:";
+    for (const auto& name : proto::estimator_names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << "\n";
     return 2;
   }
   if (opts.scale <= 0.0) {

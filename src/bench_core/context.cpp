@@ -35,6 +35,10 @@ const std::string& RunContext::digest_out() const noexcept {
   return opts_.digest_out;
 }
 
+const std::string& RunContext::backend() const noexcept {
+  return opts_.backend;
+}
+
 std::uint32_t RunContext::trials(std::uint32_t base) const {
   const double scaled = base * scale_;
   return scaled < 1.0 ? 1u : static_cast<std::uint32_t>(scaled);

@@ -43,6 +43,12 @@ struct RunOptions {
   /// Directory for DIGEST_<exp>.json sidecars (run-level digests) and
   /// forensic reports; empty = render-only audit (nothing written).
   std::string digest_out;
+  /// Protocol backend for scenarios that honor a backend selection (the
+  /// cross-backend scenarios always run their full backend set). Must be
+  /// a registered proto::Estimator name; byzbench validates it against
+  /// the registry before any scenario runs. "" = the scenario's default
+  /// (the Algorithm-2 stack).
+  std::string backend;
 };
 
 class RunContext {
@@ -61,6 +67,9 @@ class RunContext {
   [[nodiscard]] bool audit() const noexcept;
   /// RunOptions::digest_out (forensics / digest-sidecar directory).
   [[nodiscard]] const std::string& digest_out() const noexcept;
+  /// RunOptions::backend — registry-validated estimator name, or "" for
+  /// the scenario's default stack.
+  [[nodiscard]] const std::string& backend() const noexcept;
 
   /// Trial count after scaling (>= 1). Folds in the legacy BYZCOUNT_SCALE
   /// environment knob so capture scripts keep working.

@@ -17,6 +17,7 @@
 #include "adversary/midrun_schedule.hpp" // IWYU pragma: export
 #include "adversary/placement.hpp"       // IWYU pragma: export
 #include "adversary/strategies.hpp"      // IWYU pragma: export
+#include "analysis/backend_compare.hpp"  // IWYU pragma: export
 #include "analysis/experiment.hpp"       // IWYU pragma: export
 #include "analysis/report.hpp"           // IWYU pragma: export
 #include "baselines/birthday.hpp"        // IWYU pragma: export
@@ -48,13 +49,16 @@
 #include "obs/metrics.hpp"               // IWYU pragma: export
 #include "obs/obs.hpp"                   // IWYU pragma: export
 #include "obs/trace.hpp"                 // IWYU pragma: export
+#include "protocols/brc/brc.hpp"         // IWYU pragma: export
 #include "protocols/color.hpp"           // IWYU pragma: export
 #include "protocols/estimate.hpp"        // IWYU pragma: export
+#include "protocols/estimator.hpp"       // IWYU pragma: export
 #include "protocols/fastpath.hpp"        // IWYU pragma: export
 #include "protocols/flooding.hpp"        // IWYU pragma: export
 #include "protocols/midrun.hpp"          // IWYU pragma: export
 #include "protocols/neighborhood.hpp"    // IWYU pragma: export
 #include "protocols/refine.hpp"          // IWYU pragma: export
+#include "protocols/run_common.hpp"      // IWYU pragma: export
 #include "protocols/schedule.hpp"        // IWYU pragma: export
 #include "protocols/verification.hpp"    // IWYU pragma: export
 #include "protocols/warm_start.hpp"      // IWYU pragma: export

@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "analysis/backend_compare.hpp"
 #include "graph/categories.hpp"
 #include "incremental/engine.hpp"
 #include "obs/digest.hpp"
 #include "obs/trace.hpp"
+#include "protocols/estimator.hpp"
 #include "sim/engine.hpp"
 #include "sim/runner.hpp"
 
@@ -25,6 +28,7 @@ constexpr std::uint64_t kPlacementStream = 0x0B12;
 constexpr std::uint64_t kChurnStream = 0xC002;
 constexpr std::uint64_t kColorStream = 0xE000;
 constexpr std::uint64_t kMidRunStream = 0x31D1;
+constexpr std::uint64_t kShadowStream = 0x5AAD;
 
 bool same_outcome(const proto::RunResult& a, const proto::RunResult& b) {
   if (a.status != b.status || a.estimate != b.estimate) return false;
@@ -96,6 +100,33 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
         "a different overlay evolution and its divergence count would be "
         "meaningless");
   }
+
+  // Cross-backend shadow oracle: resolve both estimators up front so an
+  // unknown name fails before any epoch runs (make_estimator's message
+  // lists the registered names).
+  std::unique_ptr<proto::Estimator> shadow_est;
+  std::unique_ptr<proto::Estimator> primary_est;
+  if (!cfg.shadow_backend.empty()) {
+    shadow_est = proto::make_estimator(cfg.shadow_backend, cfg.protocol);
+    primary_est = proto::make_estimator("algo2", cfg.protocol);
+  }
+  // The shadow comparison runs both backends cold on the epoch's
+  // post-churn snapshot — dedicated seed stream, fresh strategies, no rng
+  // or warm-state side effects — and records the oracle verdicts.
+  const auto run_shadow = [&](EpochStats& stats, std::uint32_t e,
+                              const graph::Overlay& snapshot,
+                              const std::vector<bool>& dense_byz) {
+    if (!shadow_est) return;
+    const auto cmp = analysis::compare_backends(
+        snapshot, dense_byz, cfg.strategy,
+        util::mix_seed(cfg.seed, kShadowStream + e), *primary_est,
+        *shadow_est, cfg.flood);
+    stats.shadow_ran = true;
+    stats.shadow_median_ratio = cmp.b.median_ratio;
+    stats.shadow_ratio = cmp.ratio;
+    stats.shadow_in_band = cmp.b.in_band;
+    stats.shadow_agree = cmp.agree;
+  };
 
   ChurnRunResult out;
   out.trace = generate_trace(cfg.trace);
@@ -366,6 +397,16 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
 
       stats.fresh =
           proto::summarize_accuracy(outcome.run, n, cfg.band_lo, cfg.band_hi);
+      if (shadow_est) {
+        // Post-churn state: the run flushed every event, so a fresh full
+        // snapshot is the same membership the between-runs path ends in.
+        const auto shadow_snap = overlay.snapshot();
+        std::vector<bool> shadow_byz(n, false);
+        for (NodeId i = 0; i < n; ++i) {
+          if (byz[shadow_snap.dense_to_stable[i]]) shadow_byz[i] = true;
+        }
+        run_shadow(stats, e, shadow_snap.overlay, shadow_byz);
+      }
       stats.messages = outcome.run.instr.total_messages();
       stats.subphases_scheduled = outcome.run.subphases_scheduled;
       stats.subphases_executed = outcome.run.subphases_executed;
@@ -615,6 +656,7 @@ ChurnRunResult run_churn(const ChurnRunConfig& cfg) {
 
     if (cfg.audit) stats.run_digest = run_dig.trail().run_digest;
     stats.fresh = proto::summarize_accuracy(run, n, cfg.band_lo, cfg.band_hi);
+    run_shadow(stats, e, snap.overlay, dense_byz);
     stats.messages = run.instr.total_messages();
     stats.subphases_scheduled = run.subphases_scheduled;
     stats.subphases_executed = run.subphases_executed;

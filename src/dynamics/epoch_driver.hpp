@@ -157,6 +157,17 @@ struct ChurnRunConfig {
   /// EpochStats field — including the engine-oracle and verify_warm
   /// comparisons — is independent of it.
   proto::FloodExec flood;
+  /// Cross-ALGORITHM shadow oracle (analysis/backend_compare.hpp): after
+  /// each estimating epoch, run this registered backend AND the cold
+  /// algo2 reference on the epoch's post-churn snapshot (identical
+  /// overlay/byz/strategy, a dedicated seed stream) and record whether
+  /// each landed in its own declared bound and the pair agreed within the
+  /// combined band (EpochStats::shadow_*). Unlike the engine oracle —
+  /// same algorithm, different execution tier — this catches bugs that
+  /// shift BOTH tiers identically. Pure read-side: it perturbs no rng
+  /// stream, no warm state, and no existing counter. "" = off; an unknown
+  /// name throws up front with the registered-name list.
+  std::string shadow_backend;
 };
 
 struct EpochStats {
@@ -211,6 +222,15 @@ struct EpochStats {
   /// is off, the epoch was skipped, or the obs layer is compiled out).
   /// Scenarios fold these into DIGEST_<exp>.json sidecars.
   std::uint64_t run_digest = 0;
+  // --- cross-backend shadow (ChurnRunConfig::shadow_backend only) ---
+  /// True when the shadow comparison ran this epoch (skipped epochs run
+  /// no shadow). The pass/fail fields default to TRUE so epochs without a
+  /// shadow never trip an aggregate all-epochs guard.
+  bool shadow_ran = false;
+  double shadow_median_ratio = 0.0;  ///< shadow med est / log2 n(t)
+  double shadow_ratio = 0.0;         ///< algo2 median est / shadow median est
+  bool shadow_in_band = true;        ///< shadow honored its own bound
+  bool shadow_agree = true;          ///< pair ratio within the combined band
 
   /// Bitwise identity over every counter — the oracle the flood-kernel
   /// independence tests assert across thread counts.

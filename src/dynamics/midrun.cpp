@@ -479,6 +479,11 @@ MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
   }
   MidRunOutcome out;
   if (use_engine) {
+    if (config.backend != nullptr) {
+      throw std::invalid_argument(
+          "run_counting_midrun_engine: the message-level engine replays the "
+          "Algorithm-2 stack only; MidRunConfig::backend must be null");
+    }
     sim::Engine engine(feed.snapshot_overlay(), feed.run_byz(), strategy, cfg,
                        color_seed, &feed, start_phase, digester);
     out.run = engine.run();
@@ -488,8 +493,14 @@ MidRunOutcome run_midrun_tier(MutableOverlay& overlay,
     controls.start_phase = start_phase;
     controls.digester = digester;
     controls.flood = config.flood;
-    out.run = proto::run_counting_with(feed.snapshot_overlay(), feed.run_byz(),
-                                       strategy, cfg, color_seed, controls);
+    if (config.backend != nullptr) {
+      out.run = config.backend->run(feed.snapshot_overlay(), feed.run_byz(),
+                                    strategy, color_seed, controls);
+    } else {
+      out.run = proto::run_counting_with(feed.snapshot_overlay(),
+                                         feed.run_byz(), strategy, cfg,
+                                         color_seed, controls);
+    }
   }
   feed.flush_remaining();
   // Reconcile statuses with the FLUSHED membership: events past the run's

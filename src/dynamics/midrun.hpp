@@ -74,6 +74,7 @@
 #include "dynamics/churn_trace.hpp"
 #include "dynamics/mutable_overlay.hpp"
 #include "obs/digest.hpp"
+#include "protocols/estimator.hpp"
 #include "protocols/fastpath.hpp"
 #include "protocols/midrun.hpp"
 #include "protocols/warm_start.hpp"
@@ -113,6 +114,16 @@ struct MidRunConfig {
   /// parallel kernel is bitwise-equivalent, so MidRunOutcome — including
   /// the engine-oracle comparison — is independent of it.
   proto::FloodExec flood;
+  /// Protocol backend executing the run (null = the Algorithm-2 fastpath,
+  /// run_counting_with). A non-null backend must support
+  /// EstimatorTier::kMidRunChurn; it rides the same LiveOverlayFeed,
+  /// flush, and departed-reconcile plumbing. The message-level engine
+  /// tier (run_counting_midrun_engine / engine oracle) is Algorithm-2
+  /// machinery and ignores this — callers must not combine a non-null
+  /// backend with the engine oracle. NOTE for non-algo2 backends without
+  /// verification traffic (BRC): hand the feed a disabled-verification
+  /// ProtocolConfig, or the feed will bill live verifier rebuilds.
+  const proto::Estimator* backend = nullptr;
 };
 
 struct MidRunStats {

@@ -1,0 +1,75 @@
+// Backend-neutral outcome summaries. summarize_accuracy judges any
+// backend's RunResult against the true n (the band is the caller's — each
+// Estimator declares its own); median_decided_estimate is the scale-free
+// aggregate the cross-backend agreement checks compare, deployable without
+// ground truth.
+#include "protocols/estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace byz::proto {
+
+Accuracy summarize_accuracy(const RunResult& result, std::uint64_t true_n,
+                            double lo, double hi) {
+  Accuracy acc;
+  const double log_n = std::log2(static_cast<double>(true_n));
+  double sum_ratio = 0.0;
+  acc.min_ratio = std::numeric_limits<double>::infinity();
+  acc.max_ratio = 0.0;
+  for (std::size_t v = 0; v < result.status.size(); ++v) {
+    switch (result.status[v]) {
+      case NodeStatus::kByzantine: continue;
+      case NodeStatus::kDeparted: continue;
+      case NodeStatus::kCrashed:
+        ++acc.honest;
+        ++acc.crashed;
+        continue;
+      case NodeStatus::kUndecided:
+        ++acc.honest;
+        ++acc.undecided;
+        continue;
+      case NodeStatus::kDecided: {
+        ++acc.honest;
+        ++acc.decided;
+        const double ratio = static_cast<double>(result.estimate[v]) / log_n;
+        sum_ratio += ratio;
+        acc.min_ratio = std::min(acc.min_ratio, ratio);
+        acc.max_ratio = std::max(acc.max_ratio, ratio);
+        if (ratio >= lo && ratio <= hi) ++acc.in_band;
+        continue;
+      }
+    }
+  }
+  if (acc.decided > 0) {
+    acc.mean_ratio = sum_ratio / static_cast<double>(acc.decided);
+  } else {
+    acc.min_ratio = 0.0;
+  }
+  acc.frac_in_band =
+      acc.honest ? static_cast<double>(acc.in_band) / static_cast<double>(acc.honest) : 0.0;
+  acc.frac_good =
+      acc.decided ? static_cast<double>(acc.in_band) / static_cast<double>(acc.decided) : 0.0;
+  return acc;
+}
+
+double median_decided_estimate(const RunResult& result) {
+  std::vector<std::uint32_t> decided;
+  decided.reserve(result.status.size());
+  for (std::size_t v = 0; v < result.status.size(); ++v) {
+    if (result.status[v] == NodeStatus::kDecided) {
+      decided.push_back(result.estimate[v]);
+    }
+  }
+  if (decided.empty()) return 0.0;
+  const std::size_t mid = decided.size() / 2;
+  std::nth_element(decided.begin(), decided.begin() + mid, decided.end());
+  if (decided.size() % 2 == 1) return static_cast<double>(decided[mid]);
+  const auto hi = decided[mid];
+  const auto lo = *std::max_element(decided.begin(), decided.begin() + mid);
+  return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+}
+
+}  // namespace byz::proto

@@ -58,8 +58,15 @@ struct Accuracy {
 /// Computes the summary. `lo`/`hi` bound the accepted ratio est/log2(n);
 /// the defaults cover the d-dependent termination point diameter ≈
 /// log n / log(d-1) with generous slack (a "constant factor" band).
+/// Backends with a tighter contract pass their own EstimatorBound.
 [[nodiscard]] Accuracy summarize_accuracy(const RunResult& result,
                                           std::uint64_t true_n,
                                           double lo = 0.05, double hi = 3.0);
+
+/// Median estimate over the decided nodes (0.0 if none decided). This is
+/// the scale-free per-run aggregate the cross-backend agreement oracle
+/// compares: unlike summarize_accuracy it needs no ground-truth n, so the
+/// pairwise check is deployable in production, not just in tests.
+[[nodiscard]] double median_decided_estimate(const RunResult& result);
 
 }  // namespace byz::proto

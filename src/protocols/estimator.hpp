@@ -1,0 +1,124 @@
+// The pluggable protocol-backend interface: every counting algorithm in
+// the tree (Algorithm 1/2 from the source paper, Byzantine-Resilient
+// Counting from arXiv 2204.11951) is an Estimator — one entry point across
+// the cold/warm/mid-run tiers plus a DECLARED accuracy contract. The
+// declared bound is what makes cross-backend comparison an oracle: two
+// independent algorithms must each land within their own published band,
+// and their pair ratio must land within the combined band
+// (combined_agreement_bound) — a far stronger check than any
+// same-algorithm tier parity, because the backends share no decision
+// logic. analysis::compare_backends runs it; E31/E32 and the run_churn
+// shadow wire it into CI.
+//
+// Backends register by name in a process-wide factory
+// (register_estimator / make_estimator); "algo1", "algo2", and "brc" are
+// built in. CLI layers (`byzbench --backend`, `size_service --backend /
+// --shadow-backend`) resolve user input through the same registry, so an
+// unknown name fails with the known-name list everywhere.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/strategies.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/fastpath.hpp"
+#include "protocols/run_common.hpp"
+
+namespace byz::proto {
+
+/// A backend's declared accuracy contract on an overlay: all but an
+/// `eps` fraction of honest members decide an estimate whose ratio
+/// est / log2(n) lies in [lo, hi]. The band is the backend's PAPER claim
+/// (constants included), not a tuned test tolerance — compare_backends
+/// asserts against it, so tightening it strengthens the oracle and
+/// loosening it must be justified in the backend's docs.
+struct EstimatorBound {
+  double lo = 0.0;
+  double hi = 0.0;
+  double eps = 0.0;
+
+  bool operator==(const EstimatorBound&) const = default;
+};
+
+/// The pairwise agreement band for two backends' median decided estimates:
+/// if A and B each honor their own bound on the same instance, then
+/// median_A / median_B lies in [A.lo / B.hi, A.hi / B.lo]. This check
+/// needs no ground-truth n — it is the deployable form of the oracle.
+struct AgreementBound {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+[[nodiscard]] AgreementBound combined_agreement_bound(const EstimatorBound& a,
+                                                      const EstimatorBound& b);
+
+/// Execution tiers a backend may support (the compatibility matrix in
+/// docs/ARCHITECTURE.md). Callers must check supports() before threading
+/// the corresponding RunControls knob / driver mode; backends throw
+/// std::invalid_argument on knobs they cannot honor.
+enum class EstimatorTier : std::uint8_t {
+  kColdRun,        ///< plain static run (every backend)
+  kLazySubphases,  ///< RunControls::lazy_subphases (decision-exact skip)
+  kWarmStart,      ///< proto::run_counting_warm row/estimate reuse
+  kEpsWarm,        ///< RunControls::start_phase > 1 (ε·n budget tier)
+  kMidRunChurn,    ///< RunControls::midrun (LiveOverlayFeed hooks)
+  kEngineOracle,   ///< message-level sim::Engine parity replay
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Registry name ("algo2", "brc", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// The declared accuracy contract on this overlay (may depend on n, d).
+  [[nodiscard]] virtual EstimatorBound bound(
+      const graph::Overlay& overlay) const = 0;
+
+  /// Tier-compatibility matrix row.
+  [[nodiscard]] virtual bool supports(EstimatorTier tier) const = 0;
+
+  /// One counting run. `byz_mask` spans the run's id space (node_bound
+  /// under mid-run churn); `controls` selects the tier — a backend throws
+  /// std::invalid_argument on a knob it does not support rather than
+  /// silently ignoring it.
+  [[nodiscard]] virtual RunResult run(const graph::Overlay& overlay,
+                                      const std::vector<bool>& byz_mask,
+                                      adv::Strategy& strategy,
+                                      std::uint64_t color_seed,
+                                      const RunControls& controls) const = 0;
+
+  [[nodiscard]] RunResult run(const graph::Overlay& overlay,
+                              const std::vector<bool>& byz_mask,
+                              adv::Strategy& strategy,
+                              std::uint64_t color_seed) const {
+    return run(overlay, byz_mask, strategy, color_seed, RunControls{});
+  }
+};
+
+using EstimatorFactory =
+    std::function<std::unique_ptr<Estimator>(const ProtocolConfig&)>;
+
+/// Registers a backend factory under `name` (replaces an existing entry —
+/// tests use this to shadow a built-in). Thread-safe.
+void register_estimator(const std::string& name, EstimatorFactory factory);
+
+/// Instantiates a registered backend. The ProtocolConfig carries the knobs
+/// a backend understands (schedule, verification, max_phase — each backend
+/// documents its mapping); throws std::invalid_argument on an unknown
+/// name, listing the registered names in the message (the CLI layers
+/// surface it verbatim).
+[[nodiscard]] std::unique_ptr<Estimator> make_estimator(
+    std::string_view name, const ProtocolConfig& cfg = {});
+
+/// Registered backend names, sorted.
+[[nodiscard]] std::vector<std::string> estimator_names();
+
+[[nodiscard]] bool estimator_registered(std::string_view name);
+
+}  // namespace byz::proto

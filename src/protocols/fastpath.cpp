@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <optional>
 #include <stdexcept>
 
@@ -170,17 +169,9 @@ RunResult run_counting_with(const graph::Overlay& overlay,
       // Phase boundary: the membership policy admits pending joiners (they
       // start generating this phase) and hands back the Verifier the
       // phase's floods must use (refreshed under kReadmitNextPhase).
-      admitted.clear();
-      verifier = midrun->begin_phase(phase, admitted);
-      for (const NodeId a : admitted) {
-        if (a >= nb || participates[a] != 0) continue;
-        participates[a] = 1;
-        if (!byz_mask[a] && !crashed[a] &&
-            result.status[a] == NodeStatus::kUndecided) {
-          active[a] = true;
-          ++active_count;
-        }
-      }
+      verifier = admit_at_phase_boundary(*midrun, phase, byz_mask, crashed,
+                                         result.status, participates, active,
+                                         active_count, admitted);
     }
     if (dg != nullptr) {
       dg->begin_phase(phase);
@@ -314,20 +305,7 @@ RunResult run_counting_with(const graph::Overlay& overlay,
     // longer members — they take no estimate and leave the active set
     // before the decide sweep reads the fired flags.
     if (midrun != nullptr) {
-      for (NodeId v = 0; v < nb; ++v) {
-        if (result.status[v] == NodeStatus::kDeparted || !midrun->departed(v)) {
-          continue;
-        }
-        if (active[v]) {
-          active[v] = false;
-          --active_count;
-        }
-        if (result.status[v] != NodeStatus::kByzantine) {
-          result.status[v] = NodeStatus::kDeparted;
-          result.estimate[v] = 0;
-          if (dg != nullptr) dg->fold_phase(obs::digest_state_term(v, 0xDE9));
-        }
-      }
+      sweep_departed(*midrun, active, active_count, result, dg);
     }
 
     // Nodes with FlagTerminate still set accept i as the estimate of log n.
@@ -354,33 +332,10 @@ RunResult run_counting_with(const graph::Overlay& overlay,
   result.phases_executed = phase;
   result.flood_rounds = result.instr.flood_rounds;
   if (dg != nullptr) {
-    for (NodeId v = 0; v < nb; ++v) {
-      dg->fold_run(obs::digest_state_term(
-          v, (static_cast<std::uint64_t>(result.status[v]) << 32) |
-                 result.estimate[v]));
-    }
-    dg->close_run();
+    fold_run_outcome(*dg, result, nb);
   }
   run_span.arg("phases", phase).arg("rounds", result.instr.flood_rounds);
   return result;
-}
-
-void digest_phase_state(obs::RunDigester& digester, const Verifier& verifier,
-                        std::span<const NodeStatus> status,
-                        std::span<const std::uint32_t> estimate,
-                        NodeId id_bound) {
-  for (NodeId v = 0; v < id_bound; ++v) {
-    digester.fold_phase(obs::digest_state_term(
-        v, (static_cast<std::uint64_t>(status[v]) << 32) | estimate[v]));
-  }
-  for (NodeId v = 0; v < id_bound; ++v) {
-    std::uint64_t row = 0;
-    for (const std::uint32_t count : verifier.ball_row(v)) {
-      row = obs::mix2(row, count);
-    }
-    digester.fold_phase(
-        obs::digest_state_term(v, obs::mix2(row, verifier.usable_chain(v))));
-  }
 }
 
 RunResult run_basic_counting(const graph::Overlay& overlay,
@@ -388,49 +343,6 @@ RunResult run_basic_counting(const graph::Overlay& overlay,
   std::vector<bool> byz(overlay.num_nodes(), false);
   auto strategy = adv::make_strategy(adv::StrategyKind::kHonest);
   return run_counting(overlay, byz, *strategy, basic_config(sched), color_seed);
-}
-
-Accuracy summarize_accuracy(const RunResult& result, std::uint64_t true_n,
-                            double lo, double hi) {
-  Accuracy acc;
-  const double log_n = std::log2(static_cast<double>(true_n));
-  double sum_ratio = 0.0;
-  acc.min_ratio = std::numeric_limits<double>::infinity();
-  acc.max_ratio = 0.0;
-  for (std::size_t v = 0; v < result.status.size(); ++v) {
-    switch (result.status[v]) {
-      case NodeStatus::kByzantine: continue;
-      case NodeStatus::kDeparted: continue;
-      case NodeStatus::kCrashed:
-        ++acc.honest;
-        ++acc.crashed;
-        continue;
-      case NodeStatus::kUndecided:
-        ++acc.honest;
-        ++acc.undecided;
-        continue;
-      case NodeStatus::kDecided: {
-        ++acc.honest;
-        ++acc.decided;
-        const double ratio = static_cast<double>(result.estimate[v]) / log_n;
-        sum_ratio += ratio;
-        acc.min_ratio = std::min(acc.min_ratio, ratio);
-        acc.max_ratio = std::max(acc.max_ratio, ratio);
-        if (ratio >= lo && ratio <= hi) ++acc.in_band;
-        continue;
-      }
-    }
-  }
-  if (acc.decided > 0) {
-    acc.mean_ratio = sum_ratio / static_cast<double>(acc.decided);
-  } else {
-    acc.min_ratio = 0.0;
-  }
-  acc.frac_in_band =
-      acc.honest ? static_cast<double>(acc.in_band) / static_cast<double>(acc.honest) : 0.0;
-  acc.frac_good =
-      acc.decided ? static_cast<double>(acc.in_band) / static_cast<double>(acc.decided) : 0.0;
-  return acc;
 }
 
 }  // namespace byz::proto

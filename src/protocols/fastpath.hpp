@@ -6,20 +6,13 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "adversary/strategies.hpp"
 #include "graph/small_world.hpp"
 #include "protocols/estimate.hpp"
-#include "protocols/flooding.hpp"
-#include "protocols/midrun.hpp"
+#include "protocols/run_common.hpp"
 #include "protocols/schedule.hpp"
-#include "protocols/verification.hpp"
-
-namespace byz::obs {
-class RunDigester;
-}  // namespace byz::obs
 
 namespace byz::proto {
 
@@ -52,79 +45,14 @@ struct ProtocolConfig {
                                      const ProtocolConfig& cfg,
                                      std::uint64_t color_seed);
 
-/// Extension points for run_counting. The warm-tier pair (lazy_subphases,
-/// verifier) is DECISION-EXACT: the per-node status/estimate vectors are
-/// bitwise identical to the plain run for every input (only message/round
-/// accounting changes). start_phase and midrun deliberately are NOT — they
-/// are the ε-warm and mid-run-churn tiers, whose divergence is bounded and
-/// accounted elsewhere (warm_start.hpp, dynamics/midrun.hpp).
-struct RunControls {
-  /// Lazy subphase evaluation: stop each phase at the first subphase after
-  /// which every active node has fired. The fired flags are monotone
-  /// within a phase and are the ONLY state subphases share, so the skipped
-  /// subphases cannot change any decision — they are pure message cost.
-  /// (Skipping whole PHASES, by contrast, is never decision-exact: with
-  /// fresh per-epoch colors a poorly-connected node fails phase i's
-  /// threshold with probability ~(1/2)^(m*alpha_i) for m live neighbors,
-  /// so "nobody decides before the previous epoch's minimum" is a
-  /// positive-probability bet, not an invariant.)
-  bool lazy_subphases = false;
-  /// Replaces the internally constructed Verifier; must be equivalent to
-  /// Verifier(overlay, byz_mask, cfg.verification). The warm tier
-  /// assembles it from cached rows, recomputing only dirty-ball nodes.
-  const Verifier* verifier = nullptr;
-  /// ε-warm phase skip: start the phase loop at this phase instead of 1,
-  /// executing zero subphases for the skipped prefix. Any node that would
-  /// have decided below start_phase decides at start_phase or later — a
-  /// DIVERGENT decision the ε-warm tier accounts against the paper's ε·n
-  /// outlier budget (WarmConfig::eps_*; E25 asserts the budget holds).
-  /// 1 = no skip (the exact tiers).
-  std::uint32_t start_phase = 1;
-  /// Mid-protocol churn hooks (protocols/midrun.hpp): the run sizes its
-  /// id space by node_bound(), the flood kernel resolves neighbors live,
-  /// and phase boundaries apply the MembershipPolicy (joiner admission +
-  /// verifier refresh). byz_mask must then cover node_bound() ids.
-  /// Incompatible with lazy_subphases (skipped subphases would shift the
-  /// churn-schedule clock, changing which round each event lands on) and
-  /// with an external verifier (begin_phase owns the verifier);
-  /// run_counting_with throws on those combinations. start_phase > 1 DOES
-  /// compose: the global round clock is pre-advanced past the skipped
-  /// prefix, so events scheduled there burst-apply at the entry phase's
-  /// first round — the ε-warm × mid-run composition the epoch driver
-  /// runs. Null = static run.
-  MidRunHooks* midrun = nullptr;
-  /// Divergence-forensics digester (obs/digest.hpp): when attached the run
-  /// folds a hierarchical digest trail (round -> subphase -> phase -> run)
-  /// at the same semantic points the message-level engine does, so two
-  /// trails localize the first divergent round. Pure read-side; null = no
-  /// digesting (the default).
-  obs::RunDigester* digester = nullptr;
-  /// Flood-kernel selection (flooding.hpp): kSerial is the scalar
-  /// reference, kParallel the word-packed OpenMP kernel, kDefault the
-  /// process default (BYZ_FLOOD_THREADS / set_default_flood_exec). The
-  /// kernels are bitwise-equivalent at every thread count, so this knob is
-  /// DECISION-EXACT like the warm-tier pair. A parallel run also batches
-  /// the internally constructed Verifier's row precompute.
-  FloodExec flood;
-};
-
-/// run_counting with explicit controls; run_counting == default controls.
+/// run_counting with explicit controls (protocols/run_common.hpp);
+/// run_counting == default controls.
 [[nodiscard]] RunResult run_counting_with(const graph::Overlay& overlay,
                                           const std::vector<bool>& byz_mask,
                                           adv::Strategy& strategy,
                                           const ProtocolConfig& cfg,
                                           std::uint64_t color_seed,
                                           const RunControls& controls);
-
-/// Folds the phase-begin protocol state into the digester's open phase
-/// accumulator: per-node status/estimate, then the phase verifier's ball
-/// rows and usable-chain lengths over ids [0, id_bound). Both execution
-/// tiers call this at the same semantic point — right after the phase's
-/// verifier is resolved — so the per-phase digests are comparable.
-void digest_phase_state(obs::RunDigester& digester, const Verifier& verifier,
-                        std::span<const NodeStatus> status,
-                        std::span<const std::uint32_t> estimate,
-                        graph::NodeId id_bound);
 
 /// Algorithm 1 with no Byzantine nodes at all (§3.1's exposition setting).
 [[nodiscard]] RunResult run_basic_counting(const graph::Overlay& overlay,

@@ -1,0 +1,126 @@
+// Backend-neutral run machinery shared by every proto::Estimator backend
+// (Algorithm 1/2 in fastpath.*, Byzantine-Resilient Counting in brc/*) and
+// by the message-level engine: the tier-selection knobs every run accepts
+// (RunControls), the phase-state digest fold both execution tiers emit at
+// the same semantic points, and the mid-run membership sweeps (joiner
+// admission at phase boundaries, departed reconciliation) that are policy,
+// not algorithm. Hoisted out of fastpath.* so a second backend rides the
+// same churn/observability/forensics plumbing without depending on the
+// Algorithm-2 runner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/small_world.hpp"
+#include "protocols/estimate.hpp"
+#include "protocols/flooding.hpp"
+#include "protocols/midrun.hpp"
+#include "protocols/verification.hpp"
+
+namespace byz::obs {
+class RunDigester;
+}  // namespace byz::obs
+
+namespace byz::proto {
+
+/// Extension points for a counting run. The warm-tier pair (lazy_subphases,
+/// verifier) is DECISION-EXACT: the per-node status/estimate vectors are
+/// bitwise identical to the plain run for every input (only message/round
+/// accounting changes). start_phase and midrun deliberately are NOT — they
+/// are the ε-warm and mid-run-churn tiers, whose divergence is bounded and
+/// accounted elsewhere (warm_start.hpp, dynamics/midrun.hpp). Not every
+/// backend supports every knob — Estimator::supports declares the matrix,
+/// and a backend throws std::invalid_argument on a knob it cannot honor.
+struct RunControls {
+  /// Lazy subphase evaluation: stop each phase at the first subphase after
+  /// which every active node has fired. The fired flags are monotone
+  /// within a phase and are the ONLY state subphases share, so the skipped
+  /// subphases cannot change any decision — they are pure message cost.
+  /// (Skipping whole PHASES, by contrast, is never decision-exact: with
+  /// fresh per-epoch colors a poorly-connected node fails phase i's
+  /// threshold with probability ~(1/2)^(m*alpha_i) for m live neighbors,
+  /// so "nobody decides before the previous epoch's minimum" is a
+  /// positive-probability bet, not an invariant.)
+  bool lazy_subphases = false;
+  /// Replaces the internally constructed Verifier; must be equivalent to
+  /// Verifier(overlay, byz_mask, cfg.verification). The warm tier
+  /// assembles it from cached rows, recomputing only dirty-ball nodes.
+  const Verifier* verifier = nullptr;
+  /// ε-warm phase skip: start the phase loop at this phase instead of 1,
+  /// executing zero subphases for the skipped prefix. Any node that would
+  /// have decided below start_phase decides at start_phase or later — a
+  /// DIVERGENT decision the ε-warm tier accounts against the paper's ε·n
+  /// outlier budget (WarmConfig::eps_*; E25 asserts the budget holds).
+  /// 1 = no skip (the exact tiers).
+  std::uint32_t start_phase = 1;
+  /// Mid-protocol churn hooks (protocols/midrun.hpp): the run sizes its
+  /// id space by node_bound(), the flood kernel resolves neighbors live,
+  /// and phase boundaries apply the MembershipPolicy (joiner admission +
+  /// verifier refresh). byz_mask must then cover node_bound() ids.
+  /// Incompatible with lazy_subphases (skipped subphases would shift the
+  /// churn-schedule clock, changing which round each event lands on) and
+  /// with an external verifier (begin_phase owns the verifier);
+  /// run_counting_with throws on those combinations. start_phase > 1 DOES
+  /// compose: the global round clock is pre-advanced past the skipped
+  /// prefix, so events scheduled there burst-apply at the entry phase's
+  /// first round — the ε-warm × mid-run composition the epoch driver
+  /// runs. Null = static run.
+  MidRunHooks* midrun = nullptr;
+  /// Divergence-forensics digester (obs/digest.hpp): when attached the run
+  /// folds a hierarchical digest trail (round -> subphase -> phase -> run)
+  /// at the same semantic points the message-level engine does, so two
+  /// trails localize the first divergent round. Pure read-side; null = no
+  /// digesting (the default).
+  obs::RunDigester* digester = nullptr;
+  /// Flood-kernel selection (flooding.hpp): kSerial is the scalar
+  /// reference, kParallel the word-packed OpenMP kernel, kDefault the
+  /// process default (BYZ_FLOOD_THREADS / set_default_flood_exec). The
+  /// kernels are bitwise-equivalent at every thread count, so this knob is
+  /// DECISION-EXACT like the warm-tier pair. A parallel run also batches
+  /// the internally constructed Verifier's row precompute.
+  FloodExec flood;
+};
+
+/// Folds the phase-begin protocol state into the digester's open phase
+/// accumulator: per-node status/estimate, then the phase verifier's ball
+/// rows and usable-chain lengths over ids [0, id_bound). Both execution
+/// tiers (and every backend) call this at the same semantic point — right
+/// after the phase's verifier is resolved — so per-phase digests are
+/// comparable across tiers of the same backend.
+void digest_phase_state(obs::RunDigester& digester, const Verifier& verifier,
+                        std::span<const NodeStatus> status,
+                        std::span<const std::uint32_t> estimate,
+                        graph::NodeId id_bound);
+
+/// Phase-boundary joiner admission under mid-run churn: asks the hooks'
+/// MembershipPolicy for this phase's admissions, marks them as
+/// participating, and activates the honest ones that can still decide.
+/// Returns the Verifier the phase's floods must use (begin_phase owns it —
+/// refreshed against the live topology under kReadmitNextPhase). `admitted`
+/// is cleared and filled with the admitted run ids (callers fold it into
+/// flight events).
+[[nodiscard]] const Verifier* admit_at_phase_boundary(
+    MidRunHooks& midrun, std::uint32_t phase,
+    const std::vector<bool>& byz_mask, const std::vector<bool>& crashed,
+    std::span<const NodeStatus> status, std::vector<std::uint8_t>& participates,
+    std::vector<bool>& active, std::uint64_t& active_count,
+    std::vector<graph::NodeId>& admitted);
+
+/// End-of-phase departed sweep under mid-run churn: nodes that left the
+/// overlay during the phase are no longer members — they take no estimate
+/// and leave the active set before the backend's decide sweep reads its
+/// per-phase state. Folds one digest term per newly departed node when a
+/// digester is attached (the 0xDE9 tag both tiers use).
+void sweep_departed(MidRunHooks& midrun, std::vector<bool>& active,
+                    std::uint64_t& active_count, RunResult& result,
+                    obs::RunDigester* digester);
+
+/// Final run-level digest fold: one status<<32|estimate term per node id,
+/// then close_run(). Every backend folds the identical shape so run-level
+/// digests are comparable wherever outcomes must be.
+void fold_run_outcome(obs::RunDigester& digester, const RunResult& result,
+                      graph::NodeId id_bound);
+
+}  // namespace byz::proto

@@ -1,0 +1,242 @@
+#include "protocols/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "adversary/strategies.hpp"
+#include "graph/categories.hpp"
+#include "graph/small_world.hpp"
+#include "protocols/brc/brc.hpp"
+#include "protocols/estimate.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace byz::proto {
+namespace {
+
+std::shared_ptr<const graph::Overlay> make_overlay(graph::NodeId n,
+                                                   std::uint32_t d,
+                                                   std::uint64_t seed) {
+  graph::OverlayParams params;
+  params.n = n;
+  params.d = d;
+  params.seed = seed;
+  return std::make_shared<graph::Overlay>(graph::Overlay::build(params));
+}
+
+std::vector<bool> make_byz(graph::NodeId n, double delta, std::uint64_t seed) {
+  util::Xoshiro256 rng(util::mix_seed(seed, 0x0B12));
+  return graph::random_byzantine_mask(n, sim::derive_byz_count(n, delta), rng);
+}
+
+TEST(EstimatorRegistry, BuiltinsRegistered) {
+  EXPECT_TRUE(estimator_registered("algo1"));
+  EXPECT_TRUE(estimator_registered("algo2"));
+  EXPECT_TRUE(estimator_registered("brc"));
+  EXPECT_FALSE(estimator_registered("no-such-backend"));
+
+  const auto names = estimator_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "algo2"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "brc"), names.end());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(EstimatorRegistry, UnknownNameThrowsWithKnownList) {
+  try {
+    (void)make_estimator("no-such-backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-backend"), std::string::npos);
+    // The CLI layers surface this verbatim, so the message must name the
+    // registered backends.
+    EXPECT_NE(what.find("algo2"), std::string::npos);
+    EXPECT_NE(what.find("brc"), std::string::npos);
+  }
+}
+
+TEST(EstimatorRegistry, RegisterAddsAndReplaces) {
+  register_estimator("test-backend", [](const ProtocolConfig& cfg) {
+    return make_estimator("algo2", cfg);
+  });
+  EXPECT_TRUE(estimator_registered("test-backend"));
+  EXPECT_EQ(make_estimator("test-backend")->name(), "algo2");
+
+  register_estimator("test-backend", [](const ProtocolConfig& cfg) {
+    return make_estimator("brc", cfg);
+  });
+  EXPECT_EQ(make_estimator("test-backend")->name(), "brc");
+}
+
+TEST(EstimatorRegistry, NamesMatchInstances) {
+  EXPECT_EQ(make_estimator("algo1")->name(), "algo1");
+  EXPECT_EQ(make_estimator("algo2")->name(), "algo2");
+  EXPECT_EQ(make_estimator("brc")->name(), "brc");
+}
+
+TEST(CombinedAgreementBound, RatioBandFromOwnBounds) {
+  const EstimatorBound a{0.5, 2.0, 0.1};
+  const EstimatorBound b{0.8, 1.6, 0.05};
+  const auto band = combined_agreement_bound(a, b);
+  EXPECT_DOUBLE_EQ(band.lo, 0.5 / 1.6);
+  EXPECT_DOUBLE_EQ(band.hi, 2.0 / 0.8);
+}
+
+TEST(CombinedAgreementBound, DegenerateBoundYieldsZero) {
+  const auto band = combined_agreement_bound({0.5, 2.0, 0.1}, {0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(band.lo, 0.0);
+  EXPECT_DOUBLE_EQ(band.hi, 0.0);
+}
+
+TEST(EstimatorTiers, SupportMatrix) {
+  const auto algo2 = make_estimator("algo2");
+  const auto algo1 = make_estimator("algo1");
+  const auto brc = make_estimator("brc");
+  const EstimatorTier tiers[] = {
+      EstimatorTier::kColdRun,     EstimatorTier::kLazySubphases,
+      EstimatorTier::kWarmStart,   EstimatorTier::kEpsWarm,
+      EstimatorTier::kMidRunChurn, EstimatorTier::kEngineOracle};
+  for (const auto tier : tiers) {
+    EXPECT_TRUE(algo2->supports(tier));
+    EXPECT_TRUE(algo1->supports(tier));
+  }
+  EXPECT_TRUE(brc->supports(EstimatorTier::kColdRun));
+  EXPECT_TRUE(brc->supports(EstimatorTier::kMidRunChurn));
+  EXPECT_FALSE(brc->supports(EstimatorTier::kLazySubphases));
+  EXPECT_FALSE(brc->supports(EstimatorTier::kWarmStart));
+  EXPECT_FALSE(brc->supports(EstimatorTier::kEpsWarm));
+  EXPECT_FALSE(brc->supports(EstimatorTier::kEngineOracle));
+}
+
+TEST(EstimatorInterface, Algo2MatchesDirectCall) {
+  const auto overlay = make_overlay(512, 6, 0xE5701);
+  const auto byz = make_byz(512, 0.7, 0xE5701);
+  const auto est = make_estimator("algo2");
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto via_interface = est->run(*overlay, byz, *s1, 0xC0105EED);
+
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto direct = run_counting_with(*overlay, byz, *s2, ProtocolConfig{},
+                                        0xC0105EED, RunControls{});
+  EXPECT_EQ(via_interface, direct);
+}
+
+TEST(EstimatorInterface, Algo1ForcesAblationConfig) {
+  const auto overlay = make_overlay(512, 6, 0xE5702);
+  const auto byz = make_byz(512, 0.7, 0xE5702);
+  const auto est = make_estimator("algo1");
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto via_interface = est->run(*overlay, byz, *s1, 0xC0105EED);
+  EXPECT_EQ(via_interface.instr.verify_messages, 0u);
+  EXPECT_EQ(via_interface.instr.crashes, 0u);
+
+  ProtocolConfig basic;
+  basic.verification.enabled = false;
+  basic.crash_rule = false;
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto direct = run_counting_with(*overlay, byz, *s2, basic, 0xC0105EED,
+                                        RunControls{});
+  EXPECT_EQ(via_interface, direct);
+}
+
+TEST(BrcEstimator, HonestRunHonorsDeclaredBound) {
+  const auto overlay = make_overlay(1024, 6, 0xB4C1);
+  const auto byz = make_byz(1024, 0.7, 0xB4C1);
+  const auto est = make_estimator("brc");
+  const auto bound = est->bound(*overlay);
+  ASSERT_GT(bound.lo, 0.0);
+  ASSERT_GT(bound.hi, bound.lo);
+
+  auto strategy = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto run = est->run(*overlay, byz, *strategy, 0xB4C1);
+  const auto acc = summarize_accuracy(run, 1024, bound.lo, bound.hi);
+  EXPECT_GT(acc.decided, 0u);
+  EXPECT_GE(acc.frac_in_band, 1.0 - bound.eps);
+  const double med = median_decided_estimate(run) / std::log2(1024.0);
+  EXPECT_GE(med, bound.lo);
+  EXPECT_LE(med, bound.hi);
+  // BRC runs no witness interrogation by construction.
+  EXPECT_EQ(run.instr.verify_messages, 0u);
+  EXPECT_EQ(run.instr.crashes, 0u);
+}
+
+TEST(BrcEstimator, CommitmentFilterNeutralizesFakeColors) {
+  // Every forged color exceeds the committed member maximum and is dropped
+  // before delivery, so a fake-color adversary degenerates into an honest
+  // relay: decisions and estimates are IDENTICAL to the honest run, and
+  // the filter accounts for every attempted injection.
+  const auto overlay = make_overlay(1024, 6, 0xB4C2);
+  const auto byz = make_byz(1024, 0.7, 0xB4C2);
+  const auto est = make_estimator("brc");
+
+  auto honest = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto clean = est->run(*overlay, byz, *honest, 0xB4C2);
+  auto fake = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto attacked = est->run(*overlay, byz, *fake, 0xB4C2);
+
+  EXPECT_EQ(attacked.status, clean.status);
+  EXPECT_EQ(attacked.estimate, clean.estimate);
+  EXPECT_GT(attacked.instr.injections_attempted, 0u);
+  EXPECT_EQ(attacked.instr.injections_accepted, 0u);
+  EXPECT_EQ(attacked.instr.injections_caught,
+            attacked.instr.injections_attempted);
+}
+
+TEST(BrcEstimator, ParallelFloodBitwiseEqualsSerial) {
+  const auto overlay = make_overlay(768, 6, 0xB4C3);
+  const auto byz = make_byz(768, 0.7, 0xB4C3);
+  const auto est = make_estimator("brc");
+
+  auto s1 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto serial = est->run(*overlay, byz, *s1, 0xB4C3);
+
+  RunControls parallel_controls;
+  parallel_controls.flood = {FloodMode::kParallel, 4};
+  auto s2 = adv::make_strategy(adv::StrategyKind::kFakeColor);
+  const auto parallel =
+      est->run(*overlay, byz, *s2, 0xB4C3, parallel_controls);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(BrcEstimator, ThrowsOnUnsupportedControls) {
+  const auto overlay = make_overlay(128, 6, 0xB4C4);
+  const std::vector<bool> byz(128, false);
+  const auto est = make_estimator("brc");
+  auto strategy = adv::make_strategy(adv::StrategyKind::kHonest);
+
+  RunControls lazy;
+  lazy.lazy_subphases = true;
+  EXPECT_THROW((void)est->run(*overlay, byz, *strategy, 1, lazy),
+               std::invalid_argument);
+
+  RunControls warm;
+  warm.start_phase = 2;
+  EXPECT_THROW((void)est->run(*overlay, byz, *strategy, 1, warm),
+               std::invalid_argument);
+}
+
+TEST(BrcEstimator, MaxBatchesCapReportsUndecided) {
+  // A one-batch cap cannot reach the stability rule (it needs two batch
+  // medians), so every honest node stays undecided — the cap maps through
+  // ProtocolConfig::max_phase like Algorithm 2's phase cap.
+  const auto overlay = make_overlay(256, 6, 0xB4C5);
+  const std::vector<bool> byz(256, false);
+  ProtocolConfig cfg;
+  cfg.max_phase = 1;
+  const auto est = make_estimator("brc", cfg);
+  auto strategy = adv::make_strategy(adv::StrategyKind::kHonest);
+  const auto run = est->run(*overlay, byz, *strategy, 0xB4C5);
+  EXPECT_EQ(run.phases_executed, 1u);
+  const auto acc = summarize_accuracy(run, 256);
+  EXPECT_EQ(acc.decided, 0u);
+  EXPECT_EQ(acc.undecided, acc.honest);
+}
+
+}  // namespace
+}  // namespace byz::proto

@@ -1,0 +1,197 @@
+"""Unit tests for tools/divergence_report.py.
+
+The renderer's contract: a well-formed byzobs/forensics/v1 document
+renders (exit 0, divergent or not — the report IS the product), the
+digest walk marks exactly the first mismatch, and schema drift — wrong
+schema tag, missing tiers, unreadable JSON — exits nonzero so CI never
+quietly renders garbage next to a real oracle failure.
+
+Stdlib only; run with `python3 -m unittest discover tools/tests`.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+import divergence_report
+
+
+def tier(name, phases, **extra):
+    doc = {"name": name, "run_digest": extra.pop("run_digest", "deadbeef"),
+           "phases_total": len(phases), "subphases_total": 0,
+           "rounds_total": 0,
+           "phases": [{"phase": p, "digest": d} for p, d in phases]}
+    doc.update(extra)
+    return doc
+
+
+def valid_doc():
+    return {
+        "schema": "byzobs/forensics/v1",
+        "scenario": "midrun-tier-cmp",
+        "seed": 3141,
+        "flags": "--jobs=4",
+        "detail": "tier medians differ: 10.5 vs 11.0",
+        "first_divergence": {"level": "phase", "phase": 2},
+        "tiers": [
+            tier("incremental", [(1, "aaaa"), (2, "bbbb"), (3, "cccc")],
+                 flight_tail=[{"phase": 2, "subphase": 1, "round": 7,
+                               "kind": "color_flip", "a": 3, "b": 5}],
+                 flight_total=120),
+            tier("cold", [(1, "aaaa"), (2, "eeee"), (3, "ffff")]),
+        ],
+        "repro": "byzbench --filter e26 --seed 3141",
+    }
+
+
+def write_doc(doc):
+    fh = tempfile.NamedTemporaryFile("w", suffix=".json", delete=False,
+                                     encoding="utf-8")
+    json.dump(doc, fh)
+    fh.close()
+    return fh.name
+
+
+class LoadTest(unittest.TestCase):
+    def tearDown(self):
+        if getattr(self, "path", None) and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def load(self, doc):
+        self.path = write_doc(doc)
+        return divergence_report.load(self.path)
+
+    def test_valid_document_loads(self):
+        doc = self.load(valid_doc())
+        self.assertEqual(doc["schema"], "byzobs/forensics/v1")
+
+    def test_wrong_schema_tag_raises(self):
+        doc = valid_doc()
+        doc["schema"] = "byzobs/forensics/v2"
+        with self.assertRaisesRegex(divergence_report.ReportError,
+                                    "not a byzobs/forensics/v1"):
+            self.load(doc)
+
+    def test_missing_schema_raises(self):
+        doc = valid_doc()
+        del doc["schema"]
+        with self.assertRaises(divergence_report.ReportError):
+            self.load(doc)
+
+    def test_wrong_tier_count_raises(self):
+        doc = valid_doc()
+        doc["tiers"] = doc["tiers"][:1]
+        with self.assertRaisesRegex(divergence_report.ReportError,
+                                    "expected exactly 2 tiers"):
+            self.load(doc)
+
+    def test_unreadable_file_raises(self):
+        with self.assertRaises(divergence_report.ReportError):
+            divergence_report.load("/nonexistent/forensics.json")
+
+    def test_malformed_json_raises(self):
+        self.path = write_doc({})
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write("{ truncated")
+        with self.assertRaises(divergence_report.ReportError):
+            divergence_report.load(self.path)
+
+
+class RenderTest(unittest.TestCase):
+    def tearDown(self):
+        if getattr(self, "path", None) and os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def run_main(self, doc, *flags):
+        self.path = write_doc(doc)
+        out, err = io.StringIO(), io.StringIO()
+        old = sys.stdout, sys.stderr
+        sys.stdout, sys.stderr = out, err
+        try:
+            code = divergence_report.main(
+                ["divergence_report.py", self.path, *flags])
+        finally:
+            sys.stdout, sys.stderr = old
+        return code, out.getvalue(), err.getvalue()
+
+    def test_divergent_report_renders_and_exits_zero(self):
+        code, out, err = self.run_main(valid_doc())
+        self.assertEqual(code, 0)
+        self.assertEqual(err, "")
+        self.assertIn("first divergence at level=phase, phase=2", out)
+        self.assertIn("byzbench --filter e26 --seed 3141", out)
+
+    def test_digest_walk_marks_first_mismatch_only(self):
+        _, out, _ = self.run_main(valid_doc())
+        self.assertEqual(out.count("<-- FIRST DIVERGENCE"), 1)
+        self.assertIn("(also differs)", out)
+        first = out.index("phase 2")
+        also = out.index("phase 3")
+        self.assertLess(first, also)
+        self.assertIn("!=", out.splitlines()[
+            next(i for i, l in enumerate(out.splitlines())
+                 if "FIRST DIVERGENCE" in l)])
+
+    def test_missing_entry_rendered_as_missing(self):
+        doc = valid_doc()
+        doc["tiers"][1]["phases"] = doc["tiers"][1]["phases"][:2]
+        _, out, _ = self.run_main(doc)
+        self.assertIn("(missing)", out)
+
+    def test_flight_tail_rendered_with_limit(self):
+        doc = valid_doc()
+        doc["tiers"][0]["flight_tail"] = [
+            {"phase": 1, "subphase": 0, "round": r, "kind": "tok",
+             "a": r, "b": r} for r in range(20)]
+        doc["tiers"][0]["flight_total"] = 500
+        _, out, _ = self.run_main(doc, "--tail", "5")
+        self.assertIn("last 5 of 500 events", out)
+        self.assertIn("r19", out)
+        self.assertNotIn("r14", out)
+
+    def test_agreeing_trails_report_outcome_level_divergence(self):
+        doc = valid_doc()
+        doc["first_divergence"] = {"level": "none"}
+        doc["tiers"][1]["phases"] = doc["tiers"][0]["phases"]
+        _, out, _ = self.run_main(doc)
+        self.assertIn("trails agree at every level", out)
+        self.assertNotIn("FIRST DIVERGENCE", out)
+
+    def test_json_mode_reemits_documents(self):
+        code, out, _ = self.run_main(valid_doc(), "--json")
+        self.assertEqual(code, 0)
+        docs = json.loads(out)
+        self.assertEqual(len(docs), 1)
+        self.assertEqual(docs[0]["seed"], 3141)
+
+    def test_malformed_input_exits_nonzero(self):
+        code, _, err = self.run_main({"schema": "wrong"})
+        self.assertEqual(code, 1)
+        self.assertIn("ERROR", err)
+
+    def test_one_bad_report_fails_the_batch(self):
+        good = write_doc(valid_doc())
+        bad = write_doc({"schema": "nope"})
+        try:
+            err = io.StringIO()
+            old = sys.stdout, sys.stderr
+            sys.stdout, sys.stderr = io.StringIO(), err
+            try:
+                code = divergence_report.main(
+                    ["divergence_report.py", good, bad])
+            finally:
+                sys.stdout, sys.stderr = old
+            self.assertEqual(code, 1)
+            self.assertIn("ERROR", err.getvalue())
+        finally:
+            os.unlink(good)
+            os.unlink(bad)
+
+
+if __name__ == "__main__":
+    unittest.main()
